@@ -1,0 +1,116 @@
+// Command fdsim runs one simulated cluster lifecycle — key distribution
+// followed by failure-discovery runs — and prints the traffic ledger and
+// per-node outcomes.
+//
+// Usage:
+//
+//	fdsim -n 8 -t 2 -runs 3
+//	fdsim -n 16 -t 5 -protocol nonauth
+//	fdsim -n 8 -t 2 -fault silent-relay     # inject a fault
+//	fdsim -n 8 -t 2 -trace                  # log every delivered message
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 8, "number of nodes")
+		t        = flag.Int("t", 2, "fault bound")
+		runs     = flag.Int("runs", 1, "failure-discovery runs after key distribution")
+		protocol = flag.String("protocol", "chain", "chain | nonauth | smallrange")
+		scheme   = flag.String("scheme", "ed25519", "signature scheme")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		value    = flag.String("value", "example-value", "sender's initial value")
+		fault    = flag.String("fault", "", "inject: silent-relay | silent-sender | tamper-relay | equivocating-sender")
+	)
+	flag.Parse()
+	if err := run(*n, *t, *runs, *protocol, *scheme, *seed, *value, *fault); err != nil {
+		fmt.Fprintf(os.Stderr, "fdsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, t, runs int, protocol, scheme string, seed int64, value, fault string) error {
+	cluster, err := core.New(model.Config{N: n, T: t},
+		core.WithScheme(scheme), core.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+
+	proto := core.ProtocolChain
+	switch protocol {
+	case "chain":
+	case "nonauth":
+		proto = core.ProtocolNonAuth
+	case "smallrange":
+		proto = core.ProtocolSmallRange
+		value = "\x01"
+	default:
+		return fmt.Errorf("unknown protocol %q", protocol)
+	}
+
+	if proto != core.ProtocolNonAuth {
+		rep, err := cluster.EstablishAuthentication()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("key distribution: %s\n", rep)
+	}
+
+	for i := 0; i < runs; i++ {
+		opts := []core.RunOption{core.WithProtocol(proto)}
+		if fault != "" {
+			faultOpts, err := buildFault(cluster, fault, value)
+			if err != nil {
+				return err
+			}
+			opts = append(opts, faultOpts...)
+		}
+		rep, err := cluster.RunFailureDiscovery([]byte(value), opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("run %d: %s\n", i+1, rep)
+		for _, o := range rep.Outcomes {
+			fmt.Printf("  %s\n", o)
+		}
+	}
+	fmt.Printf("ledger: total=%d messages (keydist=%d, %d runs)\n",
+		cluster.Ledger().TotalMessages(), cluster.Ledger().KeyDistMessages(), cluster.Ledger().FDRuns())
+	return nil
+}
+
+// buildFault wires the named adversary into the next run.
+func buildFault(c *core.Cluster, name, value string) ([]core.RunOption, error) {
+	switch name {
+	case "silent-relay":
+		return []core.RunOption{core.WithProcess(1, sim.Silent{})}, nil
+	case "silent-sender":
+		return []core.RunOption{core.WithProcess(0, sim.Silent{})}, nil
+	case "tamper-relay":
+		signer, err := c.Signer(1)
+		if err != nil {
+			return nil, err
+		}
+		return []core.RunOption{core.WithProcess(1,
+			adversary.NewResignRelay(c.Config(), 1, signer, []byte("forged")))}, nil
+	case "equivocating-sender":
+		signer, err := c.Signer(0)
+		if err != nil {
+			return nil, err
+		}
+		return []core.RunOption{core.WithProcess(0,
+			adversary.NewEquivocatingSender(c.Config(), signer, []byte(value), []byte(value+"'"), model.NodeID(c.Config().N/2)))}, nil
+	default:
+		return nil, fmt.Errorf("unknown fault %q", name)
+	}
+}

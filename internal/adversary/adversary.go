@@ -1,0 +1,159 @@
+// Package adversary implements Byzantine behaviours used to test the
+// paper's theorems. The model places no restriction on faulty nodes
+// beyond the network's ground rules: they cannot spoof their identity as
+// immediate sender (N2, enforced by the simulator), they cannot block
+// other nodes' messages (N1), and they cannot forge signatures they do
+// not hold (S1–S3). Everything else — silence, lies, equivocation,
+// collusion, key sharing, mixed key distribution — is fair game, and each
+// has a constructor here.
+//
+// Two styles coexist:
+//
+//   - Filters wrap a CORRECT process and distort its outbox (drop,
+//     redirect, tamper). They model faults that are deviations of an
+//     otherwise protocol-following node and compose freely.
+//   - Bespoke processes implement coordinated attacks that need their own
+//     protocol logic (mixed predicate distribution, equivocating senders,
+//     lying echoers).
+package adversary
+
+import (
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Filter transforms the outbox of a wrapped process each round.
+type Filter func(round int, out []model.Message) []model.Message
+
+// Wrapped runs an inner process and applies a chain of filters to every
+// outbox. The inner process's inbox is untouched: a Byzantine node sees
+// everything sent to it.
+type Wrapped struct {
+	inner   sim.Process
+	filters []Filter
+}
+
+var _ sim.Process = (*Wrapped)(nil)
+
+// Wrap builds a filtered process. Filters apply in order.
+func Wrap(inner sim.Process, filters ...Filter) *Wrapped {
+	return &Wrapped{inner: inner, filters: filters}
+}
+
+// Step implements sim.Process.
+func (w *Wrapped) Step(round int, received []model.Message) []model.Message {
+	out := w.inner.Step(round, received)
+	for _, f := range w.filters {
+		out = f(round, out)
+	}
+	return out
+}
+
+// Finished implements sim.Finisher by delegating to the inner process.
+func (w *Wrapped) Finished() bool {
+	if f, ok := w.inner.(sim.Finisher); ok {
+		return f.Finished()
+	}
+	return true
+}
+
+// DropAll silences the node from the given round on (crash fault).
+func DropAll(fromRound int) Filter {
+	return func(round int, out []model.Message) []model.Message {
+		if round >= fromRound {
+			return nil
+		}
+		return out
+	}
+}
+
+// DropTo suppresses messages to the given victims: the "split" primitive —
+// e.g. a disseminator that withholds the chain from part of the tail.
+func DropTo(victims model.NodeSet) Filter {
+	return func(_ int, out []model.Message) []model.Message {
+		kept := out[:0]
+		for _, m := range out {
+			if !victims.Contains(m.To) {
+				kept = append(kept, m)
+			}
+		}
+		return kept
+	}
+}
+
+// OnlyTo suppresses messages to everyone except the chosen recipients.
+func OnlyTo(recipients model.NodeSet) Filter {
+	return func(_ int, out []model.Message) []model.Message {
+		kept := out[:0]
+		for _, m := range out {
+			if recipients.Contains(m.To) {
+				kept = append(kept, m)
+			}
+		}
+		return kept
+	}
+}
+
+// TamperPayload rewrites the payload of every message matching kind. The
+// mutation receives a copy, so the original buffer is never shared.
+func TamperPayload(kind model.MessageKind, mutate func([]byte) []byte) Filter {
+	return func(_ int, out []model.Message) []model.Message {
+		for i := range out {
+			if out[i].Kind == kind {
+				cp := append([]byte(nil), out[i].Payload...)
+				out[i].Payload = mutate(cp)
+			}
+		}
+		return out
+	}
+}
+
+// FlipByte is a convenient TamperPayload mutation: it flips one bit of the
+// byte at index i (modulo length), voiding any signature over the payload.
+func FlipByte(i int) func([]byte) []byte {
+	return func(p []byte) []byte {
+		if len(p) == 0 {
+			return p
+		}
+		p[i%len(p)] ^= 0x01
+		return p
+	}
+}
+
+// DuplicateTo appends a copy of each outgoing message redirected to extra,
+// modelling a node that leaks protocol traffic to an accomplice or spams a
+// victim with duplicates.
+func DuplicateTo(extra model.NodeID) Filter {
+	return func(_ int, out []model.Message) []model.Message {
+		dup := make([]model.Message, 0, len(out))
+		for _, m := range out {
+			cp := m
+			cp.To = extra
+			dup = append(dup, cp)
+		}
+		return append(out, dup...)
+	}
+}
+
+// DelayBy holds every outgoing message back `rounds` rounds before
+// releasing it: in a synchronous protocol a late message is exactly as
+// much of a deviation as a forged one, and receivers must treat it so.
+func DelayBy(rounds int) Filter {
+	held := make(map[int][]model.Message)
+	return func(round int, out []model.Message) []model.Message {
+		held[round+rounds] = append(held[round+rounds], out...)
+		release := held[round]
+		delete(held, round)
+		return release
+	}
+}
+
+// InjectAt adds fabricated messages to the outbox of the given round.
+func InjectAt(round int, msgs ...model.Message) Filter {
+	return func(r int, out []model.Message) []model.Message {
+		if r == round {
+			return append(out, msgs...)
+		}
+		return out
+	}
+}

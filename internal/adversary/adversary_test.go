@@ -1,0 +1,114 @@
+package adversary
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// constProc sends a fixed outbox each round.
+func constProc(out []model.Message) sim.Process {
+	return sim.ProcessFunc(func(int, []model.Message) []model.Message {
+		cp := make([]model.Message, len(out))
+		copy(cp, out)
+		return cp
+	})
+}
+
+func TestDropAll(t *testing.T) {
+	p := Wrap(constProc([]model.Message{{To: 1}}), DropAll(2))
+	if got := p.Step(1, nil); len(got) != 1 {
+		t.Errorf("round 1 dropped: %v", got)
+	}
+	if got := p.Step(2, nil); len(got) != 0 {
+		t.Errorf("round 2 not dropped: %v", got)
+	}
+	if got := p.Step(5, nil); len(got) != 0 {
+		t.Errorf("round 5 not dropped: %v", got)
+	}
+}
+
+func TestDropToAndOnlyTo(t *testing.T) {
+	out := []model.Message{{To: 1}, {To: 2}, {To: 3}}
+	p := Wrap(constProc(out), DropTo(model.NewNodeSet(2)))
+	got := p.Step(1, nil)
+	if len(got) != 2 || got[0].To != 1 || got[1].To != 3 {
+		t.Errorf("DropTo result: %v", got)
+	}
+	p = Wrap(constProc(out), OnlyTo(model.NewNodeSet(2)))
+	got = p.Step(1, nil)
+	if len(got) != 1 || got[0].To != 2 {
+		t.Errorf("OnlyTo result: %v", got)
+	}
+}
+
+func TestTamperPayloadCopies(t *testing.T) {
+	orig := []byte{0x10, 0x20}
+	out := []model.Message{{To: 1, Kind: model.KindChainValue, Payload: orig}}
+	p := Wrap(constProc(out), TamperPayload(model.KindChainValue, FlipByte(0)))
+	got := p.Step(1, nil)
+	if got[0].Payload[0] != 0x11 {
+		t.Errorf("payload not flipped: %x", got[0].Payload)
+	}
+	if orig[0] != 0x10 {
+		t.Error("original buffer mutated")
+	}
+	// Non-matching kinds untouched.
+	out2 := []model.Message{{To: 1, Kind: model.KindEcho, Payload: []byte{9}}}
+	p = Wrap(constProc(out2), TamperPayload(model.KindChainValue, FlipByte(0)))
+	if got := p.Step(1, nil); got[0].Payload[0] != 9 {
+		t.Error("non-matching kind tampered")
+	}
+}
+
+func TestFlipByteEmpty(t *testing.T) {
+	if got := FlipByte(3)(nil); got != nil {
+		t.Errorf("FlipByte(nil) = %v", got)
+	}
+}
+
+func TestDuplicateTo(t *testing.T) {
+	out := []model.Message{{To: 1, Payload: []byte("x")}}
+	p := Wrap(constProc(out), DuplicateTo(4))
+	got := p.Step(1, nil)
+	if len(got) != 2 || got[1].To != 4 || !bytes.Equal(got[1].Payload, []byte("x")) {
+		t.Errorf("DuplicateTo result: %v", got)
+	}
+}
+
+func TestInjectAt(t *testing.T) {
+	extra := model.Message{To: 2, Kind: model.KindFault}
+	p := Wrap(constProc(nil), InjectAt(3, extra))
+	if got := p.Step(2, nil); len(got) != 0 {
+		t.Errorf("injected early: %v", got)
+	}
+	if got := p.Step(3, nil); len(got) != 1 || got[0].Kind != model.KindFault {
+		t.Errorf("not injected at 3: %v", got)
+	}
+}
+
+func TestFiltersCompose(t *testing.T) {
+	out := []model.Message{{To: 1}, {To: 2}}
+	p := Wrap(constProc(out),
+		DropTo(model.NewNodeSet(1)),
+		DuplicateTo(3),
+	)
+	got := p.Step(1, nil)
+	// After DropTo: [{To:2}]; after DuplicateTo: [{To:2},{To:3}].
+	if len(got) != 2 || got[0].To != 2 || got[1].To != 3 {
+		t.Errorf("composition result: %v", got)
+	}
+}
+
+func TestWrappedFinishedDelegation(t *testing.T) {
+	w := Wrap(sim.Silent{})
+	if !w.Finished() {
+		t.Error("Silent-wrapped not finished")
+	}
+	w = Wrap(sim.ProcessFunc(func(int, []model.Message) []model.Message { return nil }))
+	if !w.Finished() {
+		t.Error("non-Finisher wrapped should default to finished")
+	}
+}

@@ -1,0 +1,362 @@
+package ba
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/sig"
+)
+
+// OM(t) — the oral-messages algorithm of Lamport, Shostak & Pease —
+// implemented as exponential information gathering (EIG).
+//
+// Oral messages have no signatures: a relay can lie arbitrarily about what
+// it heard, which is why the algorithm needs n > 3t and exponentially many
+// relayed values. The paper cites this as the canonical non-authenticated
+// agreement protocol; experiment E8 contrasts its cost explosion with the
+// linear authenticated failure-discovery protocol.
+//
+// EIG formulation: every node maintains a tree of values indexed by
+// *paths* — sequences of distinct node IDs starting at the sender. In
+// round 1 the sender broadcasts its value (path "0"). In round r, each
+// node relays every path of length r−1 that does not already contain the
+// node, with itself appended. After round t+1, each node resolves the tree
+// bottom-up: a leaf resolves to its stored value (or the default if
+// absent); an inner node resolves to the strict majority of its children
+// (default if none).
+//
+// The number of relayed path entries is n·(n−1)·(n−2)⋯ — O(n^t) — while
+// the number of physical messages per round is at most n(n−1) (entries are
+// batched per destination, as a real implementation would). EIGNode counts
+// both so E8 can report the classical exponential quantity alongside wire
+// messages.
+
+// EIGNode is a correct OM(t) participant.
+type EIGNode struct {
+	id  model.NodeID
+	cfg model.Config
+
+	// value is the sender's initial value (sender only).
+	value []byte
+	// tree maps path keys to reported values. Paths are encoded as the
+	// canonical key of their node sequence.
+	tree map[string][]byte
+	// entries counts the path entries this node has relayed (the classical
+	// OM(t) cost metric).
+	entries *atomic.Int64
+
+	decision Decision
+	finished bool
+}
+
+// EIGOption configures an EIGNode.
+type EIGOption func(*EIGNode)
+
+// WithEIGValue sets the sender's initial value.
+func WithEIGValue(v []byte) EIGOption {
+	return func(n *EIGNode) { n.value = append([]byte(nil), v...) }
+}
+
+// WithEntryCounter shares an entry counter across the cluster, so a run
+// can report total relayed entries.
+func WithEntryCounter(c *atomic.Int64) EIGOption {
+	return func(n *EIGNode) { n.entries = c }
+}
+
+// NewEIGNode builds a correct OM(t) participant. OM requires n > 3t; the
+// constructor enforces it because the algorithm's guarantees are void
+// otherwise.
+func NewEIGNode(cfg model.Config, id model.NodeID, opts ...EIGOption) (*EIGNode, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.N <= 3*cfg.T {
+		return nil, fmt.Errorf("ba: OM(t) requires n > 3t, got n=%d t=%d", cfg.N, cfg.T)
+	}
+	if !id.Valid(cfg.N) {
+		return nil, fmt.Errorf("ba: node id %v out of range for n=%d", id, cfg.N)
+	}
+	n := &EIGNode{
+		id:      id,
+		cfg:     cfg,
+		tree:    make(map[string][]byte),
+		entries: new(atomic.Int64),
+	}
+	n.decision.Node = id
+	for _, opt := range opts {
+		opt(n)
+	}
+	if id == Sender && n.value == nil {
+		return nil, fmt.Errorf("ba: sender needs WithEIGValue")
+	}
+	return n, nil
+}
+
+// Decision implements Decider.
+func (n *EIGNode) Decision() Decision { return n.decision }
+
+// Finished implements sim.Finisher.
+func (n *EIGNode) Finished() bool { return n.finished }
+
+// EIGEngineRounds returns the lockstep rounds an OM(t) run needs: t+1
+// communication rounds plus the resolution step.
+func EIGEngineRounds(t int) int { return t + 2 }
+
+// EIGEntries returns the classical OM(t) relayed-entry count for a
+// failure-free run: sum over rounds r=1..t+1 of n·(n−1)⋯ falling
+// factorial terms. Round 1 contributes n−1 entries (the sender's
+// broadcast); round r>1 contributes (n−1)(n−2)⋯(n−r+1)·(n−r)… — computed
+// exactly by simulating the path counts.
+func EIGEntries(n, t int) int {
+	// paths[r] = number of distinct paths of length r (starting at the
+	// sender, distinct nodes). Each such path is relayed to n-1
+	// destinations... counted as entries delivered.
+	total := 0
+	paths := 1 // the sender's root path of length 1 ("0")
+	// Round 1: sender sends the root value to n-1 nodes.
+	total += n - 1
+	for r := 2; r <= t+1; r++ {
+		// Each node not on a path of length r-1 extends it and broadcasts
+		// to n-1 destinations. Number of length-r paths: paths * (n-(r-1)).
+		paths *= n - (r - 1)
+		total += paths * (n - 1)
+	}
+	return total
+}
+
+// pathKey canonically encodes a path for map indexing.
+func pathKey(path []model.NodeID) string {
+	parts := make([]string, len(path))
+	for i, p := range path {
+		parts[i] = fmt.Sprintf("%d", int(p))
+	}
+	return strings.Join(parts, ".")
+}
+
+// OralEntry is one (path, value) report on the wire. Exported so
+// adversarial tests can fabricate lies.
+type OralEntry struct {
+	Path  []model.NodeID
+	Value []byte
+}
+
+// MarshalOralEntries batches path entries into one payload.
+func MarshalOralEntries(entries []OralEntry) []byte {
+	e := sig.NewEncoder().Int(len(entries))
+	for _, en := range entries {
+		e.Int(len(en.Path))
+		for _, p := range en.Path {
+			e.Int(int(p))
+		}
+		e.Bytes(en.Value)
+	}
+	return e.Encoding()
+}
+
+// unmarshalOralEntries decodes a batched payload.
+func unmarshalOralEntries(data []byte) ([]OralEntry, error) {
+	d := sig.NewDecoder(data)
+	count := d.Int()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if count < 0 || count > 1<<22 {
+		return nil, fmt.Errorf("ba: implausible entry count %d", count)
+	}
+	out := make([]OralEntry, 0, count)
+	for i := 0; i < count; i++ {
+		plen := d.Int()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if plen < 1 || plen > 1<<10 {
+			return nil, fmt.Errorf("ba: implausible path length %d", plen)
+		}
+		path := make([]model.NodeID, plen)
+		for j := range path {
+			path[j] = model.NodeID(d.Int())
+		}
+		val := append([]byte(nil), d.Bytes()...)
+		out = append(out, OralEntry{Path: path, Value: val})
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Step implements the sim Process contract.
+func (n *EIGNode) Step(round int, received []model.Message) []model.Message {
+	t := n.cfg.T
+	// Ingest reports from the previous round. Oral messages carry no
+	// signatures: a node can only sanity-check structure, not content —
+	// that weakness is the whole point of OM(t)'s redundancy.
+	var fresh []OralEntry
+	for _, m := range received {
+		if m.Kind != model.KindOral {
+			continue // not a protocol message; OM ignores it
+		}
+		entries, err := unmarshalOralEntries(m.Payload)
+		if err != nil {
+			continue // malformed: ignore, the majority vote absorbs it
+		}
+		for _, en := range entries {
+			if !n.validPath(en.Path, round-1, m.From) {
+				continue
+			}
+			key := pathKey(en.Path)
+			if _, dup := n.tree[key]; dup {
+				continue // first report wins; duplicates are faulty noise
+			}
+			n.tree[key] = en.Value
+			fresh = append(fresh, en)
+		}
+	}
+
+	switch {
+	case round == 1 && n.id == Sender:
+		n.tree[pathKey([]model.NodeID{Sender})] = n.value
+		if t == 0 {
+			n.finished = true
+		}
+		root := OralEntry{Path: []model.NodeID{Sender}, Value: n.value}
+		n.entries.Add(int64(n.cfg.N - 1))
+		return n.broadcast([]OralEntry{root})
+	case round >= 2 && round <= t+1:
+		// Relay every fresh path that does not contain us, extended by us.
+		var relay []OralEntry
+		for _, en := range fresh {
+			if containsNode(en.Path, n.id) {
+				continue
+			}
+			ext := append(append([]model.NodeID(nil), en.Path...), n.id)
+			key := pathKey(ext)
+			n.tree[key] = en.Value
+			relay = append(relay, OralEntry{Path: ext, Value: en.Value})
+		}
+		if len(relay) == 0 {
+			return nil
+		}
+		n.entries.Add(int64(len(relay) * (n.cfg.N - 1)))
+		return n.broadcast(relay)
+	case round == EIGEngineRounds(t):
+		n.resolve()
+		n.finished = true
+	}
+	return nil
+}
+
+// validPath checks that a reported path is structurally possible for this
+// round: correct length, starts at the sender, distinct nodes, and its
+// last element is the immediate sender (a node can only report paths it
+// itself extended). These checks need no cryptography — they are the only
+// defense oral messages afford.
+func (n *EIGNode) validPath(path []model.NodeID, sentRound int, from model.NodeID) bool {
+	if len(path) != sentRound {
+		return false
+	}
+	if path[0] != Sender {
+		return false
+	}
+	if path[len(path)-1] != from {
+		return false
+	}
+	seen := make(map[model.NodeID]bool, len(path))
+	for _, p := range path {
+		if !p.Valid(n.cfg.N) || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return !containsNode(path, n.id)
+}
+
+// broadcast sends the batched entries to every other node.
+func (n *EIGNode) broadcast(entries []OralEntry) []model.Message {
+	payload := MarshalOralEntries(entries)
+	out := make([]model.Message, 0, n.cfg.N-1)
+	for _, to := range n.cfg.Nodes() {
+		if to != n.id {
+			out = append(out, model.Message{To: to, Kind: model.KindOral, Payload: payload})
+		}
+	}
+	return out
+}
+
+// resolve computes the node's decision by the classical EIG bottom-up
+// majority rule. The sender is special: as in Lamport's formulation, the
+// commander uses its own value (validity is then immediate), and the
+// lieutenants resolve their trees (every path through the tree excludes
+// the resolver itself, so the sender could not resolve the root anyway).
+func (n *EIGNode) resolve() {
+	if n.id == Sender && n.value != nil {
+		n.decision.Value = append([]byte(nil), n.value...)
+		return
+	}
+	root := []model.NodeID{Sender}
+	n.decision.Value = n.resolvePath(root)
+}
+
+// resolvePath resolves one tree vertex: leaves (length t+1) take their
+// stored value; inner vertices take the strict majority of their children.
+func (n *EIGNode) resolvePath(path []model.NodeID) []byte {
+	stored, ok := n.tree[pathKey(path)]
+	if len(path) == n.cfg.T+1 {
+		if !ok {
+			return DefaultValue
+		}
+		return stored
+	}
+	// Children: extensions by every node not already on the path (and not
+	// the resolver itself — the resolver's own extension is its stored
+	// value, which we include as a child too for the standard rule).
+	var votes [][]byte
+	for _, q := range n.cfg.Nodes() {
+		if containsNode(path, q) {
+			continue
+		}
+		if q == n.id {
+			// Our own child vertex holds what we received for `path`.
+			if ok {
+				votes = append(votes, stored)
+			} else {
+				votes = append(votes, DefaultValue)
+			}
+			continue
+		}
+		votes = append(votes, n.resolvePath(append(append([]model.NodeID(nil), path...), q)))
+	}
+	return majority(votes)
+}
+
+// majority returns the strict-majority value of votes, or DefaultValue if
+// none exists.
+func majority(votes [][]byte) []byte {
+	counts := make(map[string]int, len(votes))
+	for _, v := range votes {
+		counts[string(v)]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if 2*counts[k] > len(votes) {
+			return []byte(k)
+		}
+	}
+	return DefaultValue
+}
+
+func containsNode(path []model.NodeID, id model.NodeID) bool {
+	for _, p := range path {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,358 @@
+// Package core is the library's front door: it packages the paper's
+// contribution — local authentication plus message-efficient Failure
+// Discovery — behind a Cluster type a downstream user programs against.
+//
+// Lifecycle:
+//
+//	cluster, _ := core.New(model.Config{N: 16, T: 5})
+//	_, _ = cluster.EstablishAuthentication()       // Fig. 1, once: 3n(n−1) msgs
+//	rep, _ := cluster.RunFailureDiscovery(value)   // Fig. 2, per run: n−1 msgs
+//
+// Every run is metered, so the amortization story of the paper's abstract
+// ("the effort of establishing local authentication once results in a
+// substantial reduction of messages in subsequent failure-discovery
+// protocols") is directly observable via Cluster.Ledger.
+//
+// Fault injection: any node can be replaced by an arbitrary process for
+// any phase with the WithProcess run option (or WithKeyDistProcess for the
+// authentication phase), which is how the experiments wire in package
+// adversary's behaviours.
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/fd"
+	"repro/internal/keydist"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sig"
+	"repro/internal/sim"
+)
+
+// Protocol selects which failure-discovery protocol a run uses.
+type Protocol uint8
+
+// Protocols runnable through Cluster.RunFailureDiscovery.
+const (
+	// ProtocolChain is the authenticated chain protocol of paper Fig. 2
+	// (n−1 messages). The default.
+	ProtocolChain Protocol = iota
+	// ProtocolNonAuth is the non-authenticated baseline ((t+1)(n−1)
+	// messages). It ignores the cluster's keys entirely.
+	ProtocolNonAuth
+	// ProtocolSmallRange is the binary silence-as-default variant.
+	ProtocolSmallRange
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolChain:
+		return "chain"
+	case ProtocolNonAuth:
+		return "nonauth"
+	case ProtocolSmallRange:
+		return "smallrange"
+	default:
+		return fmt.Sprintf("protocol(%d)", uint8(p))
+	}
+}
+
+// Cluster owns n logical nodes, their keys and directories, and a message
+// ledger spanning all protocol phases.
+type Cluster struct {
+	cfg    model.Config
+	scheme sig.Scheme
+	// entropy returns the entropy source for node i; defaults to
+	// crypto/rand, overridden by WithSeed for reproducible runs.
+	entropy func(node int) io.Reader
+
+	nodes []*keydist.Node
+	// established marks that EstablishAuthentication completed.
+	established bool
+
+	ledger *Ledger
+}
+
+// Option configures a Cluster.
+type Option func(*Cluster) error
+
+// WithScheme selects the signature scheme by registry name (default
+// ed25519).
+func WithScheme(name string) Option {
+	return func(c *Cluster) error {
+		s, err := sig.ByName(name)
+		if err != nil {
+			return err
+		}
+		c.scheme = s
+		return nil
+	}
+}
+
+// WithSeed makes all key generation and nonces deterministic from the
+// given seed, for reproducible experiments. Production clusters should
+// not set it.
+func WithSeed(seed int64) Option {
+	return func(c *Cluster) error {
+		c.entropy = func(node int) io.Reader {
+			return sim.SeededReader(sim.NodeSeed(seed, node))
+		}
+		return nil
+	}
+}
+
+// New creates a cluster of n correct nodes with fault bound t.
+func New(cfg model.Config, opts ...Option) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		entropy: func(int) io.Reader { return rand.Reader },
+		ledger:  NewLedger(),
+	}
+	defaultScheme, err := sig.ByName(sig.SchemeEd25519)
+	if err != nil {
+		return nil, err
+	}
+	c.scheme = defaultScheme
+	for _, opt := range opts {
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() model.Config { return c.cfg }
+
+// Scheme returns the signature scheme in use.
+func (c *Cluster) Scheme() sig.Scheme { return c.scheme }
+
+// Ledger returns the cumulative message ledger.
+func (c *Cluster) Ledger() *Ledger { return c.ledger }
+
+// Established reports whether local authentication has been set up.
+func (c *Cluster) Established() bool { return c.established }
+
+// Directory returns node id's accepted predicate directory. Only valid
+// after EstablishAuthentication.
+func (c *Cluster) Directory(id model.NodeID) (*keydist.Directory, error) {
+	if !c.established {
+		return nil, errors.New("core: authentication not yet established")
+	}
+	if !id.Valid(c.cfg.N) {
+		return nil, fmt.Errorf("core: node id %v out of range", id)
+	}
+	return c.nodes[id].Directory(), nil
+}
+
+// Signer returns node id's secret-key handle. Only valid after
+// EstablishAuthentication.
+func (c *Cluster) Signer(id model.NodeID) (sig.Signer, error) {
+	if !c.established {
+		return nil, errors.New("core: authentication not yet established")
+	}
+	if !id.Valid(c.cfg.N) {
+		return nil, fmt.Errorf("core: node id %v out of range", id)
+	}
+	return c.nodes[id].Signer(), nil
+}
+
+// KeyDistOption configures the authentication phase.
+type KeyDistOption func(*keyDistRun)
+
+type keyDistRun struct {
+	overrides map[model.NodeID]sim.Process
+}
+
+// WithKeyDistProcess replaces node id's key-distribution process with an
+// arbitrary (typically adversarial) one. The replaced node has no keys
+// afterwards; later runs must also override it.
+func WithKeyDistProcess(id model.NodeID, p sim.Process) KeyDistOption {
+	return func(r *keyDistRun) { r.overrides[id] = p }
+}
+
+// EstablishAuthentication runs the paper's Fig. 1 key-distribution
+// protocol across the cluster and retains each correct node's signer and
+// directory. It returns the phase report; the traffic is also added to
+// the cluster ledger under PhaseKeyDist.
+func (c *Cluster) EstablishAuthentication(opts ...KeyDistOption) (Report, error) {
+	run := keyDistRun{overrides: make(map[model.NodeID]sim.Process)}
+	for _, opt := range opts {
+		opt(&run)
+	}
+	procs := make([]sim.Process, c.cfg.N)
+	nodes := make([]*keydist.Node, c.cfg.N)
+	for i := 0; i < c.cfg.N; i++ {
+		id := model.NodeID(i)
+		if p, ok := run.overrides[id]; ok {
+			procs[i] = p
+			continue
+		}
+		n, err := keydist.NewNode(c.cfg, id, c.scheme, c.entropy(i))
+		if err != nil {
+			return Report{}, fmt.Errorf("core: build keydist node %v: %w", id, err)
+		}
+		nodes[i] = n
+		procs[i] = n
+	}
+	counters := metrics.NewCounters()
+	engine, err := sim.New(c.cfg, procs, sim.WithCounters(counters))
+	if err != nil {
+		return Report{}, err
+	}
+	res := engine.Run(keydist.RoundsTotal)
+	c.nodes = nodes
+	c.established = true
+
+	rep := Report{
+		Phase:    PhaseKeyDist,
+		Rounds:   res.Rounds,
+		Snapshot: counters.Snapshot(),
+	}
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		for _, d := range n.Discoveries() {
+			rep.Discoveries = append(rep.Discoveries, d)
+		}
+	}
+	c.ledger.Add(rep)
+	return rep, nil
+}
+
+// RunOption configures one failure-discovery run.
+type RunOption func(*fdRun)
+
+type fdRun struct {
+	protocol  Protocol
+	overrides map[model.NodeID]sim.Process
+	defBit    byte
+}
+
+// WithProtocol selects the protocol (default ProtocolChain).
+func WithProtocol(p Protocol) RunOption {
+	return func(r *fdRun) { r.protocol = p }
+}
+
+// WithProcess replaces node id's process for this run with an arbitrary
+// (typically adversarial) one.
+func WithProcess(id model.NodeID, p sim.Process) RunOption {
+	return func(r *fdRun) { r.overrides[id] = p }
+}
+
+// WithSmallRangeDefault sets the silence-encoded bit for
+// ProtocolSmallRange runs.
+func WithSmallRangeDefault(d byte) RunOption {
+	return func(r *fdRun) { r.defBit = d & 1 }
+}
+
+// RunFailureDiscovery executes one failure-discovery run with P_0 as the
+// sender of value. The authenticated protocols require
+// EstablishAuthentication to have run first; the non-authenticated
+// baseline does not.
+func (c *Cluster) RunFailureDiscovery(value []byte, opts ...RunOption) (Report, error) {
+	run := fdRun{overrides: make(map[model.NodeID]sim.Process)}
+	for _, opt := range opts {
+		opt(&run)
+	}
+	if run.protocol != ProtocolNonAuth && !c.established {
+		return Report{}, errors.New("core: establish authentication before running an authenticated protocol")
+	}
+
+	procs := make([]sim.Process, c.cfg.N)
+	outcomers := make([]fd.Outcomer, c.cfg.N)
+	for i := 0; i < c.cfg.N; i++ {
+		id := model.NodeID(i)
+		if p, ok := run.overrides[id]; ok {
+			procs[i] = p
+			continue
+		}
+		var (
+			p   sim.Process
+			err error
+		)
+		switch run.protocol {
+		case ProtocolChain:
+			var nodeOpts []fd.ChainOption
+			if id == fd.Sender {
+				nodeOpts = append(nodeOpts, fd.WithValue(value))
+			}
+			var n *fd.ChainNode
+			n, err = fd.NewChainNode(c.cfg, id, c.nodes[i].Signer(), c.nodes[i].Directory(), nodeOpts...)
+			if err == nil {
+				outcomers[i] = n
+				p = n
+			}
+		case ProtocolNonAuth:
+			var nodeOpts []fd.NonAuthOption
+			if id == fd.Sender {
+				nodeOpts = append(nodeOpts, fd.WithNonAuthValue(value))
+			}
+			var n *fd.NonAuthNode
+			n, err = fd.NewNonAuthNode(c.cfg, id, nodeOpts...)
+			if err == nil {
+				outcomers[i] = n
+				p = n
+			}
+		case ProtocolSmallRange:
+			nodeOpts := []fd.SmallRangeOption{fd.WithDefault(run.defBit)}
+			if id == fd.Sender {
+				if len(value) != 1 {
+					return Report{}, fmt.Errorf("core: small-range values are single bits, got %d bytes", len(value))
+				}
+				nodeOpts = append(nodeOpts, fd.WithBinaryValue(value[0]))
+			}
+			var n *fd.SmallRangeNode
+			n, err = fd.NewSmallRangeNode(c.cfg, id, c.nodes[i].Signer(), c.nodes[i].Directory(), nodeOpts...)
+			if err == nil {
+				outcomers[i] = n
+				p = n
+			}
+		default:
+			return Report{}, fmt.Errorf("core: unknown protocol %v", run.protocol)
+		}
+		if err != nil {
+			return Report{}, fmt.Errorf("core: build %v node %v: %w", run.protocol, id, err)
+		}
+		procs[i] = p
+	}
+
+	counters := metrics.NewCounters()
+	engine, err := sim.New(c.cfg, procs, sim.WithCounters(counters))
+	if err != nil {
+		return Report{}, err
+	}
+	maxRounds := fd.ChainEngineRounds(c.cfg.T)
+	if run.protocol == ProtocolNonAuth {
+		maxRounds = fd.NonAuthEngineRounds(c.cfg.T)
+	}
+	res := engine.Run(maxRounds)
+
+	rep := Report{
+		Phase:    PhaseFD,
+		Protocol: run.protocol,
+		Rounds:   res.Rounds,
+		Snapshot: counters.Snapshot(),
+	}
+	for _, o := range outcomers {
+		if o == nil {
+			continue
+		}
+		out := o.Outcome()
+		rep.Outcomes = append(rep.Outcomes, out)
+		if out.Discovery != nil {
+			rep.Discoveries = append(rep.Discoveries, *out.Discovery)
+		}
+	}
+	c.ledger.Add(rep)
+	return rep, nil
+}

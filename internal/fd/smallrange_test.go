@@ -1,0 +1,192 @@
+package fd_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// smallRangeProcs builds correct small-range nodes on a fixture.
+func smallRangeProcs(t *testing.T, f *fixture, value, def byte) ([]sim.Process, []*fd.SmallRangeNode) {
+	t.Helper()
+	procs := make([]sim.Process, f.cfg.N)
+	nodes := make([]*fd.SmallRangeNode, f.cfg.N)
+	for i := 0; i < f.cfg.N; i++ {
+		id := model.NodeID(i)
+		opts := []fd.SmallRangeOption{fd.WithDefault(def)}
+		if id == fd.Sender {
+			opts = append(opts, fd.WithBinaryValue(value))
+		}
+		n, err := fd.NewSmallRangeNode(f.cfg, id, f.signers[i], f.dirs[i], opts...)
+		if err != nil {
+			t.Fatalf("NewSmallRangeNode(%d): %v", i, err)
+		}
+		nodes[i] = n
+		procs[i] = n
+	}
+	return procs, nodes
+}
+
+func TestSmallRangeDefaultValueIsFree(t *testing.T) {
+	// Sending the default value costs ZERO messages: silence encodes it.
+	f := newFixture(t, 8, 2, 100)
+	procs, nodes := smallRangeProcs(t, f, 0, 0)
+	counters := runFD(t, f.cfg, procs, fd.ChainEngineRounds(f.cfg.T))
+
+	if got := counters.Messages(); got != 0 {
+		t.Errorf("messages = %d, want 0", got)
+	}
+	for _, n := range nodes {
+		o := n.Outcome()
+		if !o.Decided || len(o.Value) != 1 || o.Value[0] != 0 {
+			t.Errorf("%v outcome = %v, want decided 0", o.Node, o)
+		}
+	}
+}
+
+func TestSmallRangeNonDefaultCostsChain(t *testing.T) {
+	f := newFixture(t, 8, 2, 101)
+	procs, nodes := smallRangeProcs(t, f, 1, 0)
+	counters := runFD(t, f.cfg, procs, fd.ChainEngineRounds(f.cfg.T))
+
+	if got, want := counters.Messages(), f.cfg.N-1; got != want {
+		t.Errorf("messages = %d, want %d", got, want)
+	}
+	for _, n := range nodes {
+		o := n.Outcome()
+		if !o.Decided || len(o.Value) != 1 || o.Value[0] != 1 {
+			t.Errorf("%v outcome = %v, want decided 1", o.Node, o)
+		}
+	}
+}
+
+func TestSmallRangeInvertedDefault(t *testing.T) {
+	// With default = 1, sending 1 is free and 0 costs n−1.
+	f := newFixture(t, 6, 1, 102)
+	procs, _ := smallRangeProcs(t, f, 1, 1)
+	counters := runFD(t, f.cfg, procs, fd.ChainEngineRounds(f.cfg.T))
+	if got := counters.Messages(); got != 0 {
+		t.Errorf("default-1 run: messages = %d, want 0", got)
+	}
+
+	procs, nodes := smallRangeProcs(t, f, 0, 1)
+	counters = runFD(t, f.cfg, procs, fd.ChainEngineRounds(f.cfg.T))
+	if got, want := counters.Messages(), f.cfg.N-1; got != want {
+		t.Errorf("non-default-0 run: messages = %d, want %d", got, want)
+	}
+	for _, n := range nodes {
+		if o := n.Outcome(); !o.Decided || o.Value[0] != 0 {
+			t.Errorf("%v outcome = %v, want decided 0", o.Node, o)
+		}
+	}
+}
+
+func TestSmallRangeExpectedMessagesHelper(t *testing.T) {
+	if got := fd.SmallRangeMessages(8, 0, 0); got != 0 {
+		t.Errorf("SmallRangeMessages(8,0,0) = %d", got)
+	}
+	if got := fd.SmallRangeMessages(8, 1, 0); got != 7 {
+		t.Errorf("SmallRangeMessages(8,1,0) = %d", got)
+	}
+}
+
+func TestSmallRangeChainCarryingDefaultDiscovered(t *testing.T) {
+	// A faulty sender pushes a CHAIN carrying the default bit — a message
+	// no failure-free run contains (the default flows as silence).
+	f := newFixture(t, 6, 1, 103)
+	procs, nodes := smallRangeProcs(t, f, 1, 0)
+	sender := senderSigningBit(t, f, 0) // signs bit 0, which IS the default
+	faulty := model.NewNodeSet(0)
+	procs[0] = sender
+	nodes[0] = nil
+	runFD(t, f.cfg, procs, fd.ChainEngineRounds(f.cfg.T))
+
+	found := false
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if o := n.Outcome(); o.Discovery != nil && !faulty.Contains(o.Node) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("chain carrying the default bit not discovered")
+	}
+}
+
+// senderSigningBit returns a process that starts a chain over the given
+// bit regardless of protocol rules.
+func senderSigningBit(t *testing.T, f *fixture, bit byte) sim.Process {
+	t.Helper()
+	return sim.ProcessFunc(func(round int, _ []model.Message) []model.Message {
+		if round != 1 {
+			return nil
+		}
+		chain, err := newTestChain(f, []byte{bit})
+		if err != nil {
+			t.Fatalf("newTestChain: %v", err)
+		}
+		return []model.Message{{To: 1, Kind: model.KindChainValue, Payload: chain.Marshal()}}
+	})
+}
+
+func TestSmallRangeSplitAttack(t *testing.T) {
+	// THE DOCUMENTED LIMITATION (experiment E9): a faulty disseminator
+	// delivers the non-default chain to only part of the tail. The
+	// starved tail nodes decide the default by the silence rule — and
+	// NOBODY discovers a failure. This run violates F2 for the simplified
+	// variant, which is exactly why the full Hadzilacos–Halpern
+	// construction is more involved; the test pins the behaviour so the
+	// limitation stays visible and documented.
+	tol := 1
+	f := newFixture(t, 6, tol, 104)
+	procs, nodes := smallRangeProcs(t, f, 1, 0)
+	faulty := model.NewNodeSet(model.NodeID(tol))
+	victims := model.NewNodeSet(4, 5)
+	procs[tol] = adversary.Wrap(nodes[tol], adversary.DropTo(victims))
+	nodes[tol] = nil
+	runFD(t, f.cfg, procs, fd.ChainEngineRounds(tol))
+
+	var decided0, decided1 []model.NodeID
+	discoveries := 0
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		o := n.Outcome()
+		if faulty.Contains(o.Node) {
+			continue
+		}
+		if o.Discovery != nil {
+			discoveries++
+		}
+		if o.Decided {
+			switch o.Value[0] {
+			case 0:
+				decided0 = append(decided0, o.Node)
+			case 1:
+				decided1 = append(decided1, o.Node)
+			}
+		}
+	}
+	if discoveries != 0 {
+		t.Errorf("split attack was discovered (%d discoveries) — the documented gap closed?", discoveries)
+	}
+	if len(decided0) == 0 || len(decided1) == 0 {
+		t.Errorf("split did not materialize: decided0=%v decided1=%v", decided0, decided1)
+	}
+}
+
+func TestSmallRangeConstructorValidation(t *testing.T) {
+	f := newFixture(t, 3, 1, 105)
+	if _, err := fd.NewSmallRangeNode(f.cfg, 0, f.signers[0], f.dirs[0]); err == nil {
+		t.Error("sender without value accepted")
+	}
+	if _, err := fd.NewSmallRangeNode(f.cfg, 1, nil, f.dirs[1]); err == nil {
+		t.Error("nil signer accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package keydist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/model"
+	"repro/internal/sig"
+)
+
+// Wire formats and signing payloads for the challenge/response exchange.
+//
+// The challenge {P_i, P_j, r} names BOTH parties. This is the load-bearing
+// detail of the protocol: a challenged node signs a challenge if and only
+// if it names the node itself and the actual challenger, so a faulty node
+// cannot relay a correct node's challenge to another correct node and
+// harvest a signature that would let it claim that node's key (the attack
+// Theorem 2's G1 proof rules out).
+
+// NonceSize is the challenge nonce width in bytes. 16 bytes makes nonce
+// collisions (and hence replayed responses) vanishingly unlikely while
+// keeping challenge messages small; experiment E10 ablates this.
+const NonceSize = 16
+
+// challengeTag domain-separates challenge-response signatures from every
+// other signed statement in the system, so a harvested response can never
+// double as, say, a chain-signature layer.
+const challengeTag = "keydist/challenge/v1"
+
+// Errors returned by response verification.
+var (
+	// ErrBadChallenge reports a malformed challenge payload.
+	ErrBadChallenge = errors.New("keydist: malformed challenge")
+	// ErrBadResponse reports a malformed response payload.
+	ErrBadResponse = errors.New("keydist: malformed response")
+	// ErrWrongNames reports a challenge or response naming the wrong nodes.
+	ErrWrongNames = errors.New("keydist: challenge names do not match parties")
+	// ErrWrongNonce reports a response echoing a nonce that was never issued.
+	ErrWrongNonce = errors.New("keydist: response nonce does not match challenge")
+	// ErrBadSignature reports a response signature that fails the pending
+	// test predicate.
+	ErrBadSignature = errors.New("keydist: response signature failed test predicate")
+)
+
+// Challenge is the plaintext {P_i, P_j, r}: challenger P_i asks P_j to
+// prove it holds the secret key for the predicate it distributed.
+type Challenge struct {
+	Challenger model.NodeID
+	Challenged model.NodeID
+	Nonce      []byte
+}
+
+// NewChallenge draws a fresh nonce from rand and builds the challenge.
+func NewChallenge(challenger, challenged model.NodeID, rand io.Reader) (Challenge, error) {
+	nonce := make([]byte, NonceSize)
+	if _, err := io.ReadFull(rand, nonce); err != nil {
+		return Challenge{}, fmt.Errorf("keydist: draw nonce: %w", err)
+	}
+	return Challenge{Challenger: challenger, Challenged: challenged, Nonce: nonce}, nil
+}
+
+// Marshal encodes the challenge for the wire.
+func (c Challenge) Marshal() []byte {
+	return sig.NewEncoder().
+		Int(int(c.Challenger)).
+		Int(int(c.Challenged)).
+		Bytes(c.Nonce).
+		Encoding()
+}
+
+// UnmarshalChallenge decodes a wire challenge.
+func UnmarshalChallenge(data []byte) (Challenge, error) {
+	d := sig.NewDecoder(data)
+	c := Challenge{
+		Challenger: model.NodeID(d.Int()),
+		Challenged: model.NodeID(d.Int()),
+	}
+	c.Nonce = append([]byte(nil), d.Bytes()...)
+	if err := d.Finish(); err != nil {
+		return Challenge{}, fmt.Errorf("%w: %v", ErrBadChallenge, err)
+	}
+	return c, nil
+}
+
+// SignPayload is the byte string the challenged node signs: the
+// domain-separation tag plus both names and the nonce.
+func (c Challenge) SignPayload() []byte {
+	return sig.NewEncoder().
+		String(challengeTag).
+		Int(int(c.Challenger)).
+		Int(int(c.Challenged)).
+		Bytes(c.Nonce).
+		Encoding()
+}
+
+// Response is the signed challenge {P_i, P_j, r}_{S_j} sent back to the
+// challenger, carried with its plaintext fields so the challenger can
+// check the echo before testing the signature.
+type Response struct {
+	Challenge Challenge
+	Signature []byte
+}
+
+// Respond produces the response a correct node sends for a challenge it
+// has already screened with ShouldSign.
+func Respond(c Challenge, signer sig.Signer) (Response, error) {
+	s, err := signer.Sign(c.SignPayload())
+	if err != nil {
+		return Response{}, fmt.Errorf("keydist: sign challenge: %w", err)
+	}
+	return Response{Challenge: c, Signature: s}, nil
+}
+
+// ShouldSign implements the correct node's screening rule: sign the
+// challenge if and only if it names the node itself as the challenged
+// party and the actual immediate sender as the challenger.
+func ShouldSign(c Challenge, self, immediateSender model.NodeID) bool {
+	return c.Challenged == self && c.Challenger == immediateSender
+}
+
+// Marshal encodes the response for the wire.
+func (r Response) Marshal() []byte {
+	return sig.NewEncoder().
+		Int(int(r.Challenge.Challenger)).
+		Int(int(r.Challenge.Challenged)).
+		Bytes(r.Challenge.Nonce).
+		Bytes(r.Signature).
+		Encoding()
+}
+
+// UnmarshalResponse decodes a wire response.
+func UnmarshalResponse(data []byte) (Response, error) {
+	d := sig.NewDecoder(data)
+	r := Response{
+		Challenge: Challenge{
+			Challenger: model.NodeID(d.Int()),
+			Challenged: model.NodeID(d.Int()),
+		},
+	}
+	r.Challenge.Nonce = append([]byte(nil), d.Bytes()...)
+	r.Signature = append([]byte(nil), d.Bytes()...)
+	if err := d.Finish(); err != nil {
+		return Response{}, fmt.Errorf("%w: %v", ErrBadResponse, err)
+	}
+	return r, nil
+}
+
+// VerifyResponse applies the paper's acceptance rule: the response must
+// echo the exact challenge the verifier issued (both names, same nonce)
+// and its signature must pass the pending test predicate. On success the
+// caller accepts the predicate as belonging to the challenged node.
+func VerifyResponse(issued Challenge, r Response, pred sig.TestPredicate) error {
+	if r.Challenge.Challenger != issued.Challenger || r.Challenge.Challenged != issued.Challenged {
+		return fmt.Errorf("%w: got (%v,%v), issued (%v,%v)", ErrWrongNames,
+			r.Challenge.Challenger, r.Challenge.Challenged,
+			issued.Challenger, issued.Challenged)
+	}
+	if string(r.Challenge.Nonce) != string(issued.Nonce) {
+		return ErrWrongNonce
+	}
+	if !pred.Test(issued.SignPayload(), r.Signature) {
+		return ErrBadSignature
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package sig
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// SchemeEd25519 is the name of the Ed25519 scheme. It is the default scheme
+// throughout the repository: fast, small signatures, deterministic, and a
+// faithful modern stand-in for the paper's DSA citation.
+const SchemeEd25519 = "ed25519"
+
+func init() { Register(ed25519Scheme{}) }
+
+type ed25519Scheme struct{}
+
+func (ed25519Scheme) Name() string { return SchemeEd25519 }
+
+func (ed25519Scheme) Generate(rand io.Reader) (Signer, error) {
+	pub, priv, err := ed25519.GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("sig/ed25519: generate: %w", err)
+	}
+	return &ed25519Signer{priv: priv, pred: &ed25519Predicate{pub: pub}}, nil
+}
+
+func (ed25519Scheme) ParsePredicate(data []byte) (TestPredicate, error) {
+	if len(data) != ed25519.PublicKeySize {
+		return nil, fmt.Errorf("%w: ed25519 key must be %d bytes, got %d",
+			ErrBadKey, ed25519.PublicKeySize, len(data))
+	}
+	pub := make(ed25519.PublicKey, ed25519.PublicKeySize)
+	copy(pub, data)
+	return &ed25519Predicate{pub: pub}, nil
+}
+
+type ed25519Signer struct {
+	priv ed25519.PrivateKey
+	pred *ed25519Predicate
+}
+
+var _ Signer = (*ed25519Signer)(nil)
+
+func (s *ed25519Signer) Sign(msg []byte) ([]byte, error) {
+	return ed25519.Sign(s.priv, msg), nil
+}
+
+func (s *ed25519Signer) Predicate() TestPredicate { return s.pred }
+
+type ed25519Predicate struct {
+	pub ed25519.PublicKey
+}
+
+var _ TestPredicate = (*ed25519Predicate)(nil)
+
+func (p *ed25519Predicate) Test(msg, sig []byte) bool {
+	if len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(p.pub, msg, sig)
+}
+
+func (p *ed25519Predicate) Bytes() []byte {
+	out := make([]byte, len(p.pub))
+	copy(out, p.pub)
+	return out
+}
+
+func (p *ed25519Predicate) Fingerprint() string {
+	sum := sha256.Sum256(p.pub)
+	return SchemeEd25519 + ":" + hex.EncodeToString(sum[:8])
+}

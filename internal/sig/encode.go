@@ -1,0 +1,145 @@
+package sig
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The canonical encoding used for every signed payload in the repository.
+//
+// Agreement protocols sign structured data (names, nonces, nested signed
+// messages). Signing requires a deterministic byte representation that both
+// signer and verifier compute identically; this file provides a minimal
+// length-prefixed tuple encoding:
+//
+//	uint32(len) || bytes, fields concatenated in order,
+//	integers as big-endian uint64.
+//
+// The encoding is intentionally not self-describing: each protocol knows
+// the shape of its own payloads, and a shape mismatch surfaces as a decode
+// error, which protocols treat as a discovered failure (ReasonBadFormat).
+
+// ErrTruncated reports an encoding shorter than its own length prefixes
+// promise.
+var ErrTruncated = errors.New("sig: truncated encoding")
+
+// maxFieldLen bounds a single encoded field (16 MiB) so malformed or
+// hostile length prefixes cannot drive huge allocations.
+const maxFieldLen = 16 << 20
+
+// Encoder incrementally builds a canonical tuple encoding.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes appends a length-prefixed byte field.
+func (e *Encoder) Bytes(b []byte) *Encoder {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(b)))
+	e.buf = append(e.buf, n[:]...)
+	e.buf = append(e.buf, b...)
+	return e
+}
+
+// String appends a length-prefixed string field.
+func (e *Encoder) String(s string) *Encoder { return e.Bytes([]byte(s)) }
+
+// Uint64 appends a fixed-width big-endian integer field.
+func (e *Encoder) Uint64(v uint64) *Encoder {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], v)
+	e.buf = append(e.buf, n[:]...)
+	return e
+}
+
+// Int appends an int as a fixed-width field. Negative values are encoded
+// in two's complement and round-trip through Decoder.Int.
+func (e *Encoder) Int(v int) *Encoder { return e.Uint64(uint64(int64(v))) }
+
+// Encoding returns the accumulated bytes. The returned slice aliases the
+// encoder's buffer; callers that keep encoding must copy it first.
+func (e *Encoder) Encoding() []byte { return e.buf }
+
+// Decoder reads back a canonical tuple encoding.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps data for decoding. The decoder does not copy data.
+func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
+
+// Err returns the first error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// fail records the first error and makes subsequent reads no-ops.
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Bytes reads a length-prefixed byte field. It returns nil after any error.
+func (d *Decoder) Bytes() []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+4 > len(d.buf) {
+		d.fail(fmt.Errorf("%w: missing length prefix at offset %d", ErrTruncated, d.off))
+		return nil
+	}
+	n := binary.BigEndian.Uint32(d.buf[d.off : d.off+4])
+	d.off += 4
+	if n > maxFieldLen {
+		d.fail(fmt.Errorf("sig: field length %d exceeds limit", n))
+		return nil
+	}
+	if d.off+int(n) > len(d.buf) {
+		d.fail(fmt.Errorf("%w: field of %d bytes at offset %d", ErrTruncated, n, d.off))
+		return nil
+	}
+	out := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return out
+}
+
+// String reads a length-prefixed string field.
+func (d *Decoder) String() string { return string(d.Bytes()) }
+
+// Uint64 reads a fixed-width integer field.
+func (d *Decoder) Uint64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail(fmt.Errorf("%w: missing uint64 at offset %d", ErrTruncated, d.off))
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off : d.off+8])
+	d.off += 8
+	return v
+}
+
+// Int reads an int field written by Encoder.Int.
+func (d *Decoder) Int() int { return int(int64(d.Uint64())) }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finish returns an error if decoding failed or if unread bytes remain.
+// Protocols call Finish to reject payloads with trailing garbage, which a
+// failure-free run never produces.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("sig: %d trailing bytes after decode", len(d.buf)-d.off)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package sig
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	e := NewEncoder().
+		Bytes([]byte("hello")).
+		String("world").
+		Uint64(42).
+		Int(-7).
+		Bytes(nil)
+	d := NewDecoder(e.Encoding())
+	if got := d.Bytes(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("Bytes = %q, want %q", got, "hello")
+	}
+	if got := d.String(); got != "world" {
+		t.Errorf("String = %q, want %q", got, "world")
+	}
+	if got := d.Uint64(); got != 42 {
+		t.Errorf("Uint64 = %d, want 42", got)
+	}
+	if got := d.Int(); got != -7 {
+		t.Errorf("Int = %d, want -7", got)
+	}
+	if got := d.Bytes(); len(got) != 0 {
+		t.Errorf("empty Bytes = %q, want empty", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := NewEncoder().Bytes([]byte("payload")).Uint64(9).Encoding()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		d.Bytes()
+		d.Uint64()
+		if err := d.Finish(); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestDecodeTrailingGarbage(t *testing.T) {
+	enc := NewEncoder().Bytes([]byte("x")).Encoding()
+	enc = append(enc, 0xFF)
+	d := NewDecoder(enc)
+	d.Bytes()
+	if err := d.Finish(); err == nil {
+		t.Error("trailing garbage not detected")
+	}
+}
+
+func TestDecodeHostileLength(t *testing.T) {
+	// A length prefix far beyond the buffer must fail cleanly, without
+	// huge allocation or panic.
+	data := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	d := NewDecoder(data)
+	if got := d.Bytes(); got != nil {
+		t.Errorf("hostile length returned %d bytes", len(got))
+	}
+	if d.Err() == nil {
+		t.Error("hostile length not reported")
+	}
+}
+
+func TestDecodeErrorSticky(t *testing.T) {
+	d := NewDecoder(nil)
+	d.Bytes() // fails
+	first := d.Err()
+	d.Uint64()
+	_ = d.String()
+	if d.Err() != first {
+		t.Error("first error not sticky")
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(a []byte, s string, u uint64, i int) bool {
+		enc := NewEncoder().Bytes(a).String(s).Uint64(u).Int(i).Encoding()
+		d := NewDecoder(enc)
+		ga := d.Bytes()
+		gs := d.String()
+		gu := d.Uint64()
+		gi := d.Int()
+		if err := d.Finish(); err != nil {
+			return false
+		}
+		return bytes.Equal(ga, a) && gs == s && gu == u && gi == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecoderNeverPanicsOnArbitraryInput(t *testing.T) {
+	f := func(data []byte) bool {
+		d := NewDecoder(data)
+		d.Bytes()
+		d.Int()
+		_ = d.String()
+		d.Uint64()
+		_ = d.Finish() // outcome irrelevant; absence of panic is the property
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

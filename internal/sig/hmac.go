@@ -1,0 +1,86 @@
+package sig
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// SchemeHMAC is the name of the HMAC-SHA256 pseudo-signature scheme.
+//
+// CAVEAT: HMAC is symmetric, so the "test predicate" necessarily contains
+// the signing key — property S3 does NOT hold: anyone holding the predicate
+// can forge signatures. The scheme exists solely to isolate protocol
+// overhead from public-key cryptography cost in benchmarks (experiment
+// E10). It must never be used where the adversary model matters; the
+// adversary tests use real schemes.
+const SchemeHMAC = "hmac-sha256"
+
+// hmacKeySize is the symmetric key length in bytes.
+const hmacKeySize = 32
+
+func init() { Register(hmacScheme{}) }
+
+type hmacScheme struct{}
+
+func (hmacScheme) Name() string { return SchemeHMAC }
+
+func (hmacScheme) Generate(rnd io.Reader) (Signer, error) {
+	key := make([]byte, hmacKeySize)
+	if _, err := io.ReadFull(rnd, key); err != nil {
+		return nil, fmt.Errorf("sig/hmac: generate: %w", err)
+	}
+	pred := &hmacPredicate{key: key}
+	return &hmacSigner{pred: pred}, nil
+}
+
+func (hmacScheme) ParsePredicate(data []byte) (TestPredicate, error) {
+	if len(data) != hmacKeySize {
+		return nil, fmt.Errorf("%w: hmac key must be %d bytes, got %d",
+			ErrBadKey, hmacKeySize, len(data))
+	}
+	key := make([]byte, hmacKeySize)
+	copy(key, data)
+	return &hmacPredicate{key: key}, nil
+}
+
+type hmacSigner struct {
+	pred *hmacPredicate
+}
+
+var _ Signer = (*hmacSigner)(nil)
+
+func (s *hmacSigner) Sign(msg []byte) ([]byte, error) {
+	return s.pred.mac(msg), nil
+}
+
+func (s *hmacSigner) Predicate() TestPredicate { return s.pred }
+
+type hmacPredicate struct {
+	key []byte
+}
+
+var _ TestPredicate = (*hmacPredicate)(nil)
+
+func (p *hmacPredicate) mac(msg []byte) []byte {
+	h := hmac.New(sha256.New, p.key)
+	h.Write(msg)
+	return h.Sum(nil)
+}
+
+func (p *hmacPredicate) Test(msg, sig []byte) bool {
+	return hmac.Equal(p.mac(msg), sig)
+}
+
+func (p *hmacPredicate) Bytes() []byte {
+	out := make([]byte, len(p.key))
+	copy(out, p.key)
+	return out
+}
+
+func (p *hmacPredicate) Fingerprint() string {
+	sum := sha256.Sum256(p.key)
+	return SchemeHMAC + ":" + hex.EncodeToString(sum[:8])
+}

@@ -1,0 +1,202 @@
+// Package sim implements the paper's model of computation (§2) as a
+// deterministic lockstep simulator: a fully connected network of n nodes
+// communicating in synchronous rounds, with reliable bounded-time delivery
+// (N1) and trustworthy immediate-sender identification (N2).
+//
+// The engine stamps the From and Round fields of every message itself, so
+// no process — faulty or not — can spoof its identity, exactly as N2
+// demands. Faulty nodes are ordinary Process implementations that deviate
+// from the protocol; they control only their own messages (Byzantine
+// behaviour), never the network.
+//
+// Determinism: processes are stepped in node-ID order and inboxes are
+// sorted by sender, so a run is a pure function of (processes, seeds).
+// Every experiment in EXPERIMENTS.md is therefore exactly reproducible.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// Process is one node's protocol logic. The engine calls Step once per
+// round; received holds the messages sent to this node in the previous
+// round (empty in round 1), which makes a node's behaviour a function of
+// its view, as the model requires.
+type Process interface {
+	// Step runs one round and returns the messages to send this round.
+	// The engine stamps From and Round on each returned message; a process
+	// only sets To, Kind, and Payload.
+	Step(round int, received []model.Message) []model.Message
+}
+
+// Finisher is an optional interface: processes that know they have reached
+// a terminal state report it so the engine can stop as soon as every
+// process is done and no messages are in flight.
+type Finisher interface {
+	// Finished reports whether the process has reached a terminal state
+	// (decided, discovered a failure, or completed its protocol role).
+	Finished() bool
+}
+
+// ProcessFunc adapts a function to the Process interface.
+type ProcessFunc func(round int, received []model.Message) []model.Message
+
+// Step implements Process.
+func (f ProcessFunc) Step(round int, received []model.Message) []model.Message {
+	return f(round, received)
+}
+
+// Silent is a Process that never sends anything: the simplest faulty node
+// (crashed from the start), also useful to fill non-participating slots.
+type Silent struct{}
+
+// Step implements Process.
+func (Silent) Step(int, []model.Message) []model.Message { return nil }
+
+// Finished implements Finisher.
+func (Silent) Finished() bool { return true }
+
+// Result is the outcome of a simulator run.
+type Result struct {
+	// Rounds is the number of engine steps executed.
+	Rounds int
+	// Counters holds the traffic statistics for the run.
+	Counters *metrics.Counters
+	// Views holds each node's view of the run, indexed by node ID.
+	Views []model.View
+}
+
+// Engine drives a set of processes in lockstep rounds.
+type Engine struct {
+	cfg    model.Config
+	procs  []Process
+	views  []model.View
+	count  *metrics.Counters
+	tracer Tracer
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithTracer attaches a trace sink that observes every delivered message.
+func WithTracer(t Tracer) Option {
+	return func(e *Engine) { e.tracer = t }
+}
+
+// WithCounters uses an external counter set, letting callers accumulate
+// traffic across several protocol phases (e.g. key distribution followed
+// by many failure-discovery runs) into one budget.
+func WithCounters(c *metrics.Counters) Option {
+	return func(e *Engine) { e.count = c }
+}
+
+// New creates an engine for the given configuration. procs must contain
+// exactly cfg.N processes, indexed by node ID.
+func New(cfg model.Config, procs []Process, opts ...Option) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(procs) != cfg.N {
+		return nil, fmt.Errorf("sim: got %d processes for n=%d", len(procs), cfg.N)
+	}
+	for i, p := range procs {
+		if p == nil {
+			return nil, fmt.Errorf("sim: process %d is nil", i)
+		}
+	}
+	e := &Engine{
+		cfg:   cfg,
+		procs: procs,
+		views: make([]model.View, cfg.N),
+		count: metrics.NewCounters(),
+	}
+	for i := range e.views {
+		e.views[i].Node = model.NodeID(i)
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e, nil
+}
+
+// Run executes up to maxRounds rounds and returns the result. It stops
+// early when no messages are in flight and every process that implements
+// Finisher reports done (processes without Finisher are assumed done when
+// silent). maxRounds bounds the run because property N1 bounds delivery
+// time: a protocol's deadline is a round number, and "nothing arrived by
+// the deadline" is itself observable, which is what lets silence be
+// discovered as a failure.
+func (e *Engine) Run(maxRounds int) *Result {
+	if maxRounds < 1 {
+		maxRounds = 1
+	}
+	inFlight := make(map[model.NodeID][]model.Message)
+	rounds := 0
+	for round := 1; round <= maxRounds; round++ {
+		rounds = round
+		next := make(map[model.NodeID][]model.Message)
+		sentAny := false
+		for i, p := range e.procs {
+			id := model.NodeID(i)
+			inbox := inFlight[id]
+			SortMessages(inbox)
+			e.views[i].Append(inbox)
+			for _, m := range inbox {
+				if e.tracer != nil {
+					e.tracer.Delivered(m)
+				}
+			}
+			out := p.Step(round, inbox)
+			for _, m := range out {
+				if !m.To.Valid(e.cfg.N) || m.To == id {
+					// Sends to invalid destinations or to self are dropped:
+					// the network has no such links. A correct protocol
+					// never does this; a faulty one gains nothing.
+					continue
+				}
+				m.From = id
+				m.Round = round
+				e.count.Record(m)
+				sentAny = true
+				next[m.To] = append(next[m.To], m)
+			}
+		}
+		inFlight = next
+		if !sentAny && e.allFinished() {
+			break
+		}
+	}
+	return &Result{Rounds: rounds, Counters: e.count, Views: e.views}
+}
+
+// allFinished reports whether every Finisher process is done. Processes
+// that do not implement Finisher do not block early exit: with no traffic
+// in flight they can never act again anyway.
+func (e *Engine) allFinished() bool {
+	for _, p := range e.procs {
+		if f, ok := p.(Finisher); ok && !f.Finished() {
+			return false
+		}
+	}
+	return true
+}
+
+// SortMessages orders messages deterministically by sender, then kind,
+// then payload, so runs are reproducible regardless of arrival order. The
+// engine applies it to every inbox; the transport runner does the same so
+// socket runs match simulator runs exactly.
+func SortMessages(msgs []model.Message) {
+	sort.SliceStable(msgs, func(i, j int) bool {
+		if msgs[i].From != msgs[j].From {
+			return msgs[i].From < msgs[j].From
+		}
+		if msgs[i].Kind != msgs[j].Kind {
+			return msgs[i].Kind < msgs[j].Kind
+		}
+		return string(msgs[i].Payload) < string(msgs[j].Payload)
+	})
+}

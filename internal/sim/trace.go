@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Tracer observes message deliveries. Implementations must be safe for
+// concurrent use (the TCP transport shares them across goroutines).
+type Tracer interface {
+	// Delivered is called once per delivered message.
+	Delivered(m model.Message)
+}
+
+// WriterTracer logs one line per delivered message, for debugging runs.
+type WriterTracer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterTracer returns a Tracer that writes to w.
+func NewWriterTracer(w io.Writer) *WriterTracer { return &WriterTracer{w: w} }
+
+var _ Tracer = (*WriterTracer)(nil)
+
+// Delivered implements Tracer.
+func (t *WriterTracer) Delivered(m model.Message) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, "r%-3d %v -> %v  %v (%d bytes)\n",
+		m.Round, m.From, m.To, m.Kind, len(m.Payload))
+}
+
+// RecordingTracer retains every delivered message, for assertions in tests.
+type RecordingTracer struct {
+	mu   sync.Mutex
+	msgs []model.Message
+}
+
+var _ Tracer = (*RecordingTracer)(nil)
+
+// Delivered implements Tracer.
+func (t *RecordingTracer) Delivered(m model.Message) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.msgs = append(t.msgs, m)
+}
+
+// Messages returns a copy of all recorded messages in delivery order.
+func (t *RecordingTracer) Messages() []model.Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]model.Message, len(t.msgs))
+	copy(out, t.msgs)
+	return out
+}

@@ -1,0 +1,40 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// RunCluster drives one process per transport endpoint, each in its own
+// goroutine, for maxRounds lockstep rounds, and returns the views indexed
+// by node ID. It is the multi-node counterpart of sim.Engine.Run for real
+// transports; cmd/fdnet and the integration tests use it.
+func RunCluster(endpoints []Transport, procs []sim.Process, maxRounds int, counters *metrics.Counters) ([]model.View, error) {
+	if len(endpoints) != len(procs) {
+		return nil, fmt.Errorf("transport: %d endpoints for %d processes", len(endpoints), len(procs))
+	}
+	views := make([]model.View, len(procs))
+	errs := make([]error, len(procs))
+	var wg sync.WaitGroup
+	for i := range procs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := NewRunner(endpoints[i], procs[i], counters)
+			v, err := r.Run(maxRounds)
+			views[i] = v
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return views, fmt.Errorf("transport: node %d: %w", i, err)
+		}
+	}
+	return views, nil
+}

@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Runner drives one sim.Process over a Transport, recovering lockstep
+// rounds with a DONE-marker barrier. Every node of a cluster runs its own
+// Runner (its own goroutine or its own OS process); together they execute
+// exactly the runs the simulator executes, message for message.
+type Runner struct {
+	tr       Transport
+	proc     sim.Process
+	counters *metrics.Counters
+}
+
+// NewRunner wraps a process for execution over tr. counters may be nil.
+func NewRunner(tr Transport, proc sim.Process, counters *metrics.Counters) *Runner {
+	return &Runner{tr: tr, proc: proc, counters: counters}
+}
+
+// Run executes maxRounds lockstep rounds and returns the node's view.
+// It must be called concurrently on every node of the cluster; the barrier
+// deadlocks (until transport close) if a peer never participates, so
+// callers should close the transport on timeout — in the paper's model N1
+// rules lost messages out, and the demos inherit that assumption.
+func (r *Runner) Run(maxRounds int) (model.View, error) {
+	self := r.tr.Self()
+	view := model.View{Node: self}
+	peers := r.tr.Peers()
+
+	// pending[round] buffers messages that arrive before we reach their
+	// round (a faster peer may race ahead by one barrier).
+	pendingMsgs := make(map[int][]model.Message)
+	pendingDone := make(map[int]map[model.NodeID]bool)
+	markDone := func(round int, from model.NodeID) {
+		if pendingDone[round] == nil {
+			pendingDone[round] = make(map[model.NodeID]bool)
+		}
+		pendingDone[round][from] = true
+	}
+
+	for round := 1; round <= maxRounds; round++ {
+		inbox := pendingMsgs[round]
+		delete(pendingMsgs, round)
+		sim.SortMessages(inbox)
+		view.Append(inbox)
+
+		out := r.proc.Step(round, inbox)
+		for _, m := range out {
+			if !m.To.Valid(len(peers)+1) || m.To == self {
+				continue
+			}
+			m.From = self
+			m.Round = round
+			if r.counters != nil {
+				r.counters.Record(m)
+			}
+			if err := r.tr.Send(m.To, encodeFrame(frameMessage, round, m.Kind, m.Payload)); err != nil {
+				return view, fmt.Errorf("transport: send round %d: %w", round, err)
+			}
+		}
+		// Announce completion of this round to every peer.
+		for _, p := range peers {
+			if err := r.tr.Send(p, encodeFrame(frameDone, round, 0, nil)); err != nil {
+				return view, fmt.Errorf("transport: done round %d: %w", round, err)
+			}
+		}
+		// Collect DONE(round) from all peers; buffer any round+1 traffic
+		// that overtakes the barrier.
+		for len(pendingDone[round]) < len(peers) {
+			from, frame, err := r.tr.Recv()
+			if err != nil {
+				return view, fmt.Errorf("transport: recv round %d: %w", round, err)
+			}
+			ftype, frnd, kind, payload, err := decodeFrame(frame)
+			if err != nil {
+				// A malformed frame is a faulty peer; note it as traffic
+				// for the process to judge (it cannot be attributed to a
+				// protocol round, so it is dropped here — the protocol's
+				// deadline logic treats the silence correctly).
+				continue
+			}
+			switch ftype {
+			case frameDone:
+				markDone(frnd, from)
+			case frameMessage:
+				// Messages sent in round r are delivered at step r+1, as
+				// in the simulator.
+				pendingMsgs[frnd+1] = append(pendingMsgs[frnd+1], model.Message{
+					From:    from,
+					To:      self,
+					Round:   frnd,
+					Kind:    kind,
+					Payload: payload,
+				})
+			}
+		}
+		delete(pendingDone, round)
+	}
+	return view, nil
+}

@@ -1,0 +1,257 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sig"
+)
+
+// TCPMesh is a Transport over real TCP sockets. Each node listens on its
+// own address; the mesh is completed by having every node dial all peers
+// with a LOWER node ID (so each unordered pair gets exactly one
+// connection), exchanging a hello frame that names the dialer.
+//
+// Framing: 4-byte big-endian length prefix per frame, capped at
+// maxFrameSize to stop a hostile peer from forcing huge allocations.
+type TCPMesh struct {
+	self  model.NodeID
+	n     int
+	conns map[model.NodeID]net.Conn
+
+	mu     sync.Mutex
+	sendMu []sync.Mutex
+
+	inbox   chan envelope
+	closed  chan struct{}
+	once    sync.Once
+	readers sync.WaitGroup
+}
+
+// maxFrameSize bounds one frame (16 MiB), matching the codec's field cap.
+const maxFrameSize = 16 << 20
+
+// tcpInboxBuffer bounds buffered inbound frames.
+const tcpInboxBuffer = 4096
+
+// NewTCPMesh constructs the mesh for node self. addrs maps every node ID
+// (including self) to its listen address. The call blocks until the full
+// mesh is connected, so all nodes must be started concurrently.
+func NewTCPMesh(self model.NodeID, addrs map[model.NodeID]string) (*TCPMesh, error) {
+	n := len(addrs)
+	if !self.Valid(n) {
+		return nil, fmt.Errorf("transport: self %v out of range for %d nodes", self, n)
+	}
+	m := &TCPMesh{
+		self:   self,
+		n:      n,
+		conns:  make(map[model.NodeID]net.Conn, n-1),
+		sendMu: make([]sync.Mutex, n),
+		inbox:  make(chan envelope, tcpInboxBuffer),
+		closed: make(chan struct{}),
+	}
+
+	ln, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[self], err)
+	}
+	defer ln.Close() // the mesh is fixed-size; once complete, stop accepting
+
+	// Accept connections from higher-ID peers (they dial us)...
+	expectAccept := n - 1 - int(self)
+	acceptErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < expectAccept; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			peer, err := readHello(conn)
+			if err != nil || !peer.Valid(n) || peer <= self {
+				conn.Close()
+				acceptErr <- fmt.Errorf("transport: bad hello: %v (peer %v)", err, peer)
+				return
+			}
+			m.mu.Lock()
+			m.conns[peer] = conn
+			m.mu.Unlock()
+		}
+		acceptErr <- nil
+	}()
+
+	// ...and dial all lower-ID peers. Dials retry briefly: when a whole
+	// cluster boots concurrently, a peer's listener may come up a moment
+	// after our first attempt.
+	for p := model.NodeID(0); p < self; p++ {
+		conn, err := dialWithRetry(addrs[p])
+		if err != nil {
+			return nil, fmt.Errorf("transport: dial %v at %s: %w", p, addrs[p], err)
+		}
+		if err := writeHello(conn, self); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: hello to %v: %w", p, err)
+		}
+		m.mu.Lock()
+		m.conns[p] = conn
+		m.mu.Unlock()
+	}
+	if err := <-acceptErr; err != nil {
+		return nil, err
+	}
+
+	// Start one reader per connection.
+	m.mu.Lock()
+	for peer, conn := range m.conns {
+		m.readers.Add(1)
+		go m.readLoop(peer, conn)
+	}
+	m.mu.Unlock()
+	return m, nil
+}
+
+// dialRetryWindow bounds how long a boot-time dial keeps retrying.
+const dialRetryWindow = 10 * time.Second
+
+// dialWithRetry dials addr, retrying for up to dialRetryWindow while the
+// peer's listener is still coming up.
+func dialWithRetry(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(dialRetryWindow)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+var _ Transport = (*TCPMesh)(nil)
+
+// Self implements Transport.
+func (m *TCPMesh) Self() model.NodeID { return m.self }
+
+// Peers implements Transport.
+func (m *TCPMesh) Peers() []model.NodeID {
+	out := make([]model.NodeID, 0, m.n-1)
+	for i := 0; i < m.n; i++ {
+		if model.NodeID(i) != m.self {
+			out = append(out, model.NodeID(i))
+		}
+	}
+	return out
+}
+
+// Send implements Transport.
+func (m *TCPMesh) Send(to model.NodeID, frame []byte) error {
+	m.mu.Lock()
+	conn, ok := m.conns[to]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: no connection to %v", to)
+	}
+	m.sendMu[to].Lock()
+	defer m.sendMu[to].Unlock()
+	return writeFrame(conn, frame)
+}
+
+// Recv implements Transport.
+func (m *TCPMesh) Recv() (model.NodeID, []byte, error) {
+	select {
+	case env := <-m.inbox:
+		return env.from, env.frame, nil
+	case <-m.closed:
+		return model.NoNode, nil, ErrClosed
+	}
+}
+
+// Close implements Transport.
+func (m *TCPMesh) Close() error {
+	m.once.Do(func() {
+		close(m.closed)
+		m.mu.Lock()
+		for _, c := range m.conns {
+			c.Close()
+		}
+		m.mu.Unlock()
+	})
+	m.readers.Wait()
+	return nil
+}
+
+// readLoop pumps frames from one connection into the shared inbox.
+func (m *TCPMesh) readLoop(peer model.NodeID, conn net.Conn) {
+	defer m.readers.Done()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return // connection closed or corrupted; the barrier times out
+		}
+		select {
+		case m.inbox <- envelope{from: peer, frame: frame}:
+		case <-m.closed:
+			return
+		}
+	}
+}
+
+// writeFrame writes a length-prefixed frame.
+func writeFrame(w io.Writer, frame []byte) error {
+	if len(frame) > maxFrameSize {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// readFrame reads a length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// writeHello identifies the dialer to the acceptor.
+func writeHello(conn net.Conn, self model.NodeID) error {
+	return writeFrame(conn, sig.NewEncoder().String("hello/v1").Int(int(self)).Encoding())
+}
+
+// readHello parses the dialer's identity.
+func readHello(conn net.Conn) (model.NodeID, error) {
+	frame, err := readFrame(conn)
+	if err != nil {
+		return model.NoNode, err
+	}
+	d := sig.NewDecoder(frame)
+	if tag := d.String(); tag != "hello/v1" {
+		return model.NoNode, fmt.Errorf("transport: bad hello tag %q", tag)
+	}
+	id := model.NodeID(d.Int())
+	if err := d.Finish(); err != nil {
+		return model.NoNode, err
+	}
+	return id, nil
+}
