@@ -17,6 +17,7 @@ import (
 	"repro/internal/fd"
 	"repro/internal/keydist"
 	"repro/internal/model"
+	"repro/internal/perfbench"
 	"repro/internal/sig"
 	"repro/internal/sim"
 )
@@ -230,42 +231,13 @@ func BenchmarkE10Verify(b *testing.B) {
 }
 
 // BenchmarkE10ChainVerify measures full chain verification as a function
-// of chain length (bytes grow linearly; verification cost with it).
+// of chain length (bytes grow linearly; verification cost with it),
+// cold (memo reset each iteration) and warm (memoized re-verification).
+// The bodies live in internal/perfbench, shared with `fdbench -perf`.
 func BenchmarkE10ChainVerify(b *testing.B) {
-	scheme, err := sig.ByName(sig.SchemeEd25519)
-	if err != nil {
-		b.Fatal(err)
-	}
 	for _, hops := range []int{1, 4, 8, 16} {
-		b.Run(fmt.Sprintf("hops=%d", hops), func(b *testing.B) {
-			dir := make(sig.MapDirectory)
-			signers := make([]sig.Signer, hops)
-			for i := range signers {
-				s, err := scheme.Generate(rand.Reader)
-				if err != nil {
-					b.Fatal(err)
-				}
-				signers[i] = s
-				dir[model.NodeID(i)] = s.Predicate()
-			}
-			chain, err := sig.NewChain([]byte("value"), signers[0])
-			if err != nil {
-				b.Fatal(err)
-			}
-			for i := 1; i < hops; i++ {
-				chain, err = chain.Extend(model.NodeID(i-1), signers[i])
-				if err != nil {
-					b.Fatal(err)
-				}
-			}
-			b.ReportMetric(float64(len(chain.Marshal())), "wire-bytes")
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := chain.Verify(model.NodeID(hops-1), dir); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+		b.Run(fmt.Sprintf("hops=%d/cold", hops), perfbench.ChainVerify(hops, true))
+		b.Run(fmt.Sprintf("hops=%d/warm", hops), perfbench.ChainVerify(hops, false))
 	}
 }
 
@@ -331,4 +303,27 @@ func BenchmarkE12VectorFD(b *testing.B) {
 			b.ReportMetric(float64(fd.VectorMessages(n)), "messages")
 		})
 	}
+}
+
+// BenchmarkChainExtend measures one chain extension (sign + derive the
+// next nested encoding) at several chain lengths.
+func BenchmarkChainExtend(b *testing.B) {
+	for _, hops := range []int{1, 8, 16} {
+		b.Run(fmt.Sprintf("hops=%d", hops), perfbench.ChainExtend(hops))
+	}
+}
+
+// BenchmarkEIG runs a full failure-free OM(t) agreement at n=16 — the
+// EIG hot path: path-keyed tree ingestion, relaying, and the bottom-up
+// resolve.
+func BenchmarkEIG(b *testing.B) {
+	for _, bc := range []struct{ n, t int }{{10, 3}, {16, 3}, {16, 5}} {
+		b.Run(fmt.Sprintf("n=%d_t=%d", bc.n, bc.t), perfbench.EIG(bc.n, bc.t))
+	}
+}
+
+// BenchmarkFDRun measures authenticated failure-discovery runs with
+// fresh values (no memo riding) on an established n=16 cluster.
+func BenchmarkFDRun(b *testing.B) {
+	b.Run("n=16_t=5", perfbench.FDRun(16, 5))
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/perfbench"
+)
+
+// The perf suite: the repository's headline hot-path benchmarks
+// (internal/perfbench — the same closures bench_test.go runs), runnable
+// from the fdbench binary (no `go test` needed) and serialized as JSON
+// so the perf trajectory across PRs is machine-readable. BENCH_<pr>.json
+// files accumulate at the repo root; PERF.md describes the methodology.
+
+// perfSchema identifies the JSON layout for downstream tooling.
+const perfSchema = "fdbench-perf/v1"
+
+// perfResult is one benchmark's headline numbers.
+type perfResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// perfReport is the whole emitted document.
+type perfReport struct {
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	Timestamp  string       `json:"timestamp"`
+	Benchmarks []perfResult `json:"benchmarks"`
+}
+
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// perfSuite lists the headline hot paths: chain-signature verification
+// (cold and memoized), chain extension, a full EIG agreement at n=16,
+// and authenticated failure-discovery runs with fresh values at n=16.
+func perfSuite() []namedBench {
+	return []namedBench{
+		{"chain_verify_cold/hops=16", perfbench.ChainVerify(16, true)},
+		{"chain_verify_warm/hops=16", perfbench.ChainVerify(16, false)},
+		{"chain_extend/hops=16", perfbench.ChainExtend(16)},
+		{"eig/n=16_t=3", perfbench.EIG(16, 3)},
+		{"fd_chain_run/n=16_t=5", perfbench.FDRun(16, 5)},
+	}
+}
+
+// runPerfSuite executes the headline benchmarks and writes the JSON
+// report to path.
+func runPerfSuite(path string) error {
+	report := perfReport{
+		Schema:    perfSchema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, bm := range perfSuite() {
+		fmt.Fprintf(os.Stderr, "perf: %s...\n", bm.name)
+		res := testing.Benchmark(bm.fn)
+		report.Benchmarks = append(report.Benchmarks, perfResult{
+			Name:        bm.name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Iterations:  res.N,
+		})
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "perf: wrote %s (%d benchmarks)\n", path, len(report.Benchmarks))
+	return nil
+}

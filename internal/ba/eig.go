@@ -1,9 +1,8 @@
 package ba
 
 import (
+	"bytes"
 	"fmt"
-	"sort"
-	"strings"
 	"sync/atomic"
 
 	"repro/internal/model"
@@ -33,6 +32,18 @@ import (
 // batched per destination, as a real implementation would). EIGNode counts
 // both so E8 can report the classical exponential quantity alongside wire
 // messages.
+//
+// Because the tree is exponential, the representation is deliberately
+// lean: paths are indexed by byte-packed keys (one byte per node ID —
+// maxEIGNodes bounds n accordingly), the resolve step is an iterative
+// bottom-up sweep over level-ordered key arenas instead of a recursion
+// that re-derives every path, and the per-round relay and message slices
+// are reused across rounds.
+
+// maxEIGNodes bounds the system size so a node ID always packs into one
+// key byte. OM(t) is O(n^t); anywhere near this bound it is unrunnable
+// anyway, so the bound costs nothing real.
+const maxEIGNodes = 256
 
 // EIGNode is a correct OM(t) participant.
 type EIGNode struct {
@@ -41,12 +52,22 @@ type EIGNode struct {
 
 	// value is the sender's initial value (sender only).
 	value []byte
-	// tree maps path keys to reported values. Paths are encoded as the
-	// canonical key of their node sequence.
+	// tree maps byte-packed path keys to reported values.
 	tree map[string][]byte
 	// entries counts the path entries this node has relayed (the classical
 	// OM(t) cost metric).
 	entries *atomic.Int64
+
+	// Per-round scratch, reused across Step calls to keep the relay loop
+	// allocation-flat: packed-key buffer, ingested-entry and relay-entry
+	// slices, the arena backing extended paths, and the outgoing message
+	// slice (the engine consumes returned messages before the next round,
+	// so the backing array can be recycled).
+	keyBuf   []byte
+	freshBuf []OralEntry
+	relayBuf []OralEntry
+	extArena []model.NodeID
+	msgBuf   []model.Message
 
 	decision Decision
 	finished bool
@@ -75,6 +96,9 @@ func NewEIGNode(cfg model.Config, id model.NodeID, opts ...EIGOption) (*EIGNode,
 	}
 	if cfg.N <= 3*cfg.T {
 		return nil, fmt.Errorf("ba: OM(t) requires n > 3t, got n=%d t=%d", cfg.N, cfg.T)
+	}
+	if cfg.N > maxEIGNodes {
+		return nil, fmt.Errorf("ba: OM(t) supports at most %d nodes, got n=%d", maxEIGNodes, cfg.N)
 	}
 	if !id.Valid(cfg.N) {
 		return nil, fmt.Errorf("ba: node id %v out of range for n=%d", id, cfg.N)
@@ -127,13 +151,20 @@ func EIGEntries(n, t int) int {
 	return total
 }
 
-// pathKey canonically encodes a path for map indexing.
+// pathKey canonically encodes a path for map indexing: one byte per node
+// ID, injective because NewEIGNode bounds n at maxEIGNodes.
 func pathKey(path []model.NodeID) string {
-	parts := make([]string, len(path))
-	for i, p := range path {
-		parts[i] = fmt.Sprintf("%d", int(p))
+	return string(appendPathKey(nil, path))
+}
+
+// appendPathKey appends the packed key of path to dst. Hot paths call it
+// with a reused buffer and look the result up via the zero-copy
+// map[string(buf)] form.
+func appendPathKey(dst []byte, path []model.NodeID) []byte {
+	for _, p := range path {
+		dst = append(dst, byte(p))
 	}
-	return strings.Join(parts, ".")
+	return dst
 }
 
 // OralEntry is one (path, value) report on the wire. Exported so
@@ -143,17 +174,22 @@ type OralEntry struct {
 	Value []byte
 }
 
-// MarshalOralEntries batches path entries into one payload.
+// MarshalOralEntries batches path entries into one exactly-sized payload.
 func MarshalOralEntries(entries []OralEntry) []byte {
-	e := sig.NewEncoder().Int(len(entries))
+	size := sig.IntFieldSize
 	for _, en := range entries {
-		e.Int(len(en.Path))
-		for _, p := range en.Path {
-			e.Int(int(p))
-		}
-		e.Bytes(en.Value)
+		size += sig.IntFieldSize*(1+len(en.Path)) + sig.BytesFieldSize(len(en.Value))
 	}
-	return e.Encoding()
+	out := make([]byte, 0, size)
+	out = sig.AppendInt(out, len(entries))
+	for _, en := range entries {
+		out = sig.AppendInt(out, len(en.Path))
+		for _, p := range en.Path {
+			out = sig.AppendInt(out, int(p))
+		}
+		out = sig.AppendBytes(out, en.Value)
+	}
+	return out
 }
 
 // unmarshalOralEntries decodes a batched payload.
@@ -194,7 +230,7 @@ func (n *EIGNode) Step(round int, received []model.Message) []model.Message {
 	// Ingest reports from the previous round. Oral messages carry no
 	// signatures: a node can only sanity-check structure, not content —
 	// that weakness is the whole point of OM(t)'s redundancy.
-	var fresh []OralEntry
+	fresh := n.freshBuf[:0]
 	for _, m := range received {
 		if m.Kind != model.KindOral {
 			continue // not a protocol message; OM ignores it
@@ -207,14 +243,15 @@ func (n *EIGNode) Step(round int, received []model.Message) []model.Message {
 			if !n.validPath(en.Path, round-1, m.From) {
 				continue
 			}
-			key := pathKey(en.Path)
-			if _, dup := n.tree[key]; dup {
+			n.keyBuf = appendPathKey(n.keyBuf[:0], en.Path)
+			if _, dup := n.tree[string(n.keyBuf)]; dup {
 				continue // first report wins; duplicates are faulty noise
 			}
-			n.tree[key] = en.Value
+			n.tree[string(n.keyBuf)] = en.Value
 			fresh = append(fresh, en)
 		}
 	}
+	n.freshBuf = fresh
 
 	switch {
 	case round == 1 && n.id == Sender:
@@ -227,16 +264,26 @@ func (n *EIGNode) Step(round int, received []model.Message) []model.Message {
 		return n.broadcast([]OralEntry{root})
 	case round >= 2 && round <= t+1:
 		// Relay every fresh path that does not contain us, extended by us.
-		var relay []OralEntry
+		// All extensions this round have length `round`; they live in one
+		// arena sized up front so the entry slices never move.
+		if cap(n.extArena) < len(fresh)*round {
+			n.extArena = make([]model.NodeID, len(fresh)*round)
+		}
+		arena := n.extArena[:0]
+		relay := n.relayBuf[:0]
 		for _, en := range fresh {
 			if containsNode(en.Path, n.id) {
 				continue
 			}
-			ext := append(append([]model.NodeID(nil), en.Path...), n.id)
-			key := pathKey(ext)
-			n.tree[key] = en.Value
+			start := len(arena)
+			arena = append(arena, en.Path...)
+			arena = append(arena, n.id)
+			ext := arena[start:len(arena):len(arena)]
+			n.keyBuf = appendPathKey(n.keyBuf[:0], ext)
+			n.tree[string(n.keyBuf)] = en.Value
 			relay = append(relay, OralEntry{Path: ext, Value: en.Value})
 		}
+		n.relayBuf = relay
 		if len(relay) == 0 {
 			return nil
 		}
@@ -264,25 +311,30 @@ func (n *EIGNode) validPath(path []model.NodeID, sentRound int, from model.NodeI
 	if path[len(path)-1] != from {
 		return false
 	}
-	seen := make(map[model.NodeID]bool, len(path))
-	for _, p := range path {
-		if !p.Valid(n.cfg.N) || seen[p] {
+	// Paths are at most t+1 long, so the quadratic distinctness scan beats
+	// a set allocation.
+	for i, p := range path {
+		if !p.Valid(n.cfg.N) || p == n.id {
 			return false
 		}
-		seen[p] = true
-	}
-	return !containsNode(path, n.id)
-}
-
-// broadcast sends the batched entries to every other node.
-func (n *EIGNode) broadcast(entries []OralEntry) []model.Message {
-	payload := MarshalOralEntries(entries)
-	out := make([]model.Message, 0, n.cfg.N-1)
-	for _, to := range n.cfg.Nodes() {
-		if to != n.id {
-			out = append(out, model.Message{To: to, Kind: model.KindOral, Payload: payload})
+		for j := 0; j < i; j++ {
+			if path[j] == p {
+				return false
+			}
 		}
 	}
+	return true
+}
+
+// broadcast sends the batched entries to every other node. The returned
+// slice is reused next round; the engine consumes it before then.
+func (n *EIGNode) broadcast(entries []OralEntry) []model.Message {
+	payload := MarshalOralEntries(entries)
+	if cap(n.msgBuf) < n.cfg.N-1 {
+		n.msgBuf = make([]model.Message, 0, n.cfg.N-1)
+	}
+	out := model.AppendBroadcast(n.msgBuf[:0], n.cfg.N, n.id, model.KindOral, payload)
+	n.msgBuf = out
 	return out
 }
 
@@ -296,57 +348,97 @@ func (n *EIGNode) resolve() {
 		n.decision.Value = append([]byte(nil), n.value...)
 		return
 	}
-	root := []model.NodeID{Sender}
-	n.decision.Value = n.resolvePath(root)
+	n.decision.Value = append([]byte(nil), n.resolveTree()...)
 }
 
-// resolvePath resolves one tree vertex: leaves (length t+1) take their
-// stored value; inner vertices take the strict majority of their children.
-func (n *EIGNode) resolvePath(path []model.NodeID) []byte {
-	stored, ok := n.tree[pathKey(path)]
-	if len(path) == n.cfg.T+1 {
-		if !ok {
-			return DefaultValue
+// resolveTree runs the bottom-up majority resolution iteratively over a
+// level-ordered tree of packed path keys. Level d holds every depth-d
+// vertex (path length d+1, distinct nodes, sender-rooted, excluding the
+// resolver) in generation order; every vertex of level d has exactly
+// n-d-2 children, laid out contiguously in level d+1, so parent→child
+// indexing is pure arithmetic and the recursion of the classical
+// formulation disappears along with its per-vertex allocations.
+func (n *EIGNode) resolveTree() []byte {
+	t, size := n.cfg.T, n.cfg.N
+	levelKeys := make([][]byte, t+1)
+	counts := make([]int, t+1)
+	levelKeys[0] = []byte{byte(Sender)}
+	counts[0] = 1
+	for d := 0; d < t; d++ {
+		klen := d + 1
+		perVertex := size - klen - 1
+		next := make([]byte, 0, counts[d]*perVertex*(klen+1))
+		for i := 0; i < counts[d]; i++ {
+			key := levelKeys[d][i*klen : (i+1)*klen]
+			for q := 0; q < size; q++ {
+				if q == int(n.id) || bytes.IndexByte(key, byte(q)) >= 0 {
+					continue
+				}
+				next = append(next, key...)
+				next = append(next, byte(q))
+			}
 		}
-		return stored
+		levelKeys[d+1] = next
+		counts[d+1] = counts[d] * perVertex
 	}
-	// Children: extensions by every node not already on the path (and not
-	// the resolver itself — the resolver's own extension is its stored
-	// value, which we include as a child too for the standard rule).
-	var votes [][]byte
-	for _, q := range n.cfg.Nodes() {
-		if containsNode(path, q) {
-			continue
+	// Leaves: the stored value or the default.
+	klen := t + 1
+	vals := make([][]byte, counts[t])
+	for i := range vals {
+		if v, ok := n.tree[string(levelKeys[t][i*klen:(i+1)*klen])]; ok {
+			vals[i] = v
+		} else {
+			vals[i] = DefaultValue
 		}
-		if q == n.id {
-			// Our own child vertex holds what we received for `path`.
-			if ok {
+	}
+	// Inner levels: each vertex's votes are its own stored value for the
+	// path (what it received directly) plus its children's resolutions.
+	votes := make([][]byte, 0, size)
+	for d := t - 1; d >= 0; d-- {
+		klen = d + 1
+		perVertex := size - klen - 1
+		up := make([][]byte, counts[d])
+		for i := 0; i < counts[d]; i++ {
+			votes = votes[:0]
+			if stored, ok := n.tree[string(levelKeys[d][i*klen:(i+1)*klen])]; ok {
 				votes = append(votes, stored)
 			} else {
 				votes = append(votes, DefaultValue)
 			}
-			continue
+			votes = append(votes, vals[i*perVertex:(i+1)*perVertex]...)
+			up[i] = majority(votes)
 		}
-		votes = append(votes, n.resolvePath(append(append([]model.NodeID(nil), path...), q)))
+		vals = up
 	}
-	return majority(votes)
+	return vals[0]
 }
 
 // majority returns the strict-majority value of votes, or DefaultValue if
-// none exists.
+// none exists. Boyer–Moore candidate selection plus one confirmation pass:
+// no counting map, no allocation, and the same result as exhaustive
+// counting (a strict majority is unique when it exists).
 func majority(votes [][]byte) []byte {
-	counts := make(map[string]int, len(votes))
+	var cand []byte
+	count := 0
 	for _, v := range votes {
-		counts[string(v)]++
+		switch {
+		case count == 0:
+			cand, count = v, 1
+		case bytes.Equal(cand, v):
+			count++
+		default:
+			count--
+		}
 	}
-	keys := make([]string, 0, len(counts))
-	for k := range counts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		if 2*counts[k] > len(votes) {
-			return []byte(k)
+	if count > 0 {
+		total := 0
+		for _, v := range votes {
+			if bytes.Equal(cand, v) {
+				total++
+			}
+		}
+		if 2*total > len(votes) {
+			return cand
 		}
 	}
 	return DefaultValue

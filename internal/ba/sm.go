@@ -117,12 +117,7 @@ func (n *SMNode) Step(round int, received []model.Message) []model.Message {
 		if err != nil {
 			panic(fmt.Sprintf("ba: %v signing value: %v", n.id, err))
 		}
-		payload := chain.Marshal()
-		for _, to := range n.cfg.Nodes() {
-			if to != n.id {
-				out = append(out, model.Message{To: to, Kind: model.KindSigned, Payload: payload})
-			}
-		}
+		out = model.AppendBroadcast(out, n.cfg.N, n.id, model.KindSigned, chain.Marshal())
 	case round == SMEngineRounds(t):
 		n.decide()
 		n.finished = true
@@ -173,8 +168,9 @@ func (n *SMNode) handle(round int, m model.Message) []model.Message {
 		panic(fmt.Sprintf("ba: %v extending chain: %v", n.id, err))
 	}
 	payload := ext.Marshal()
-	var out []model.Message
-	for _, to := range n.cfg.Nodes() {
+	out := make([]model.Message, 0, n.cfg.N-1-len(seen))
+	for q := 0; q < n.cfg.N; q++ {
+		to := model.NodeID(q)
 		if to == n.id || seen[to] {
 			continue
 		}

@@ -196,13 +196,7 @@ func (n *ChainNode) startChain() []model.Message {
 	n.decide(n.value)
 	payload := chain.Marshal()
 	if n.cfg.T == 0 {
-		out := make([]model.Message, 0, n.cfg.N-1)
-		for _, to := range n.cfg.Nodes() {
-			if to != n.id {
-				out = append(out, model.Message{To: to, Kind: model.KindChainValue, Payload: payload})
-			}
-		}
-		return out
+		return model.AppendBroadcast(make([]model.Message, 0, n.cfg.N-1), n.cfg.N, n.id, model.KindChainValue, payload)
 	}
 	return []model.Message{{To: Sender + 1, Kind: model.KindChainValue, Payload: payload}}
 }

@@ -191,13 +191,7 @@ func (n *NonAuthNode) checkEchoes(round int, want []byte) bool {
 
 // broadcast sends payload to every other node.
 func (n *NonAuthNode) broadcast(kind model.MessageKind, payload []byte) []model.Message {
-	out := make([]model.Message, 0, n.cfg.N-1)
-	for _, to := range n.cfg.Nodes() {
-		if to != n.id {
-			out = append(out, model.Message{To: to, Kind: kind, Payload: payload})
-		}
-	}
-	return out
+	return model.AppendBroadcast(make([]model.Message, 0, n.cfg.N-1), n.cfg.N, n.id, kind, payload)
 }
 
 // decide records the decision value.

@@ -119,10 +119,22 @@ func (n *VectorNode) expectRound(s model.NodeID) int {
 	return p + 1
 }
 
-// MarshalVectorPayload packs (instance, chain) into one payload. Exported
-// for adversarial tests that rewrite instance traffic.
+// MarshalVectorPayload packs (instance, chain) into one exactly-sized
+// payload. Exported for adversarial tests that rewrite instance traffic.
 func MarshalVectorPayload(s model.NodeID, chain []byte) []byte {
-	return sig.NewEncoder().Int(int(s)).Bytes(chain).Encoding()
+	out := make([]byte, 0, sig.IntFieldSize+sig.BytesFieldSize(len(chain)))
+	out = sig.AppendInt(out, int(s))
+	return sig.AppendBytes(out, chain)
+}
+
+// marshalVectorChain packs (instance, chain) straight from the chain's
+// cached state: one allocation, no intermediate Marshal copy.
+func marshalVectorChain(s model.NodeID, chain *sig.Chain) []byte {
+	msize := chain.MarshalSize()
+	out := make([]byte, 0, sig.IntFieldSize+sig.BytesFieldSize(msize))
+	out = sig.AppendInt(out, int(s))
+	out = sig.AppendUint32(out, uint32(msize))
+	return chain.MarshalTo(out)
 }
 
 // UnmarshalVectorPayload unpacks a vector payload; the returned chain is
@@ -185,15 +197,9 @@ func (n *VectorNode) startOwnInstance() []model.Message {
 	inst := &n.inst[n.id]
 	inst.outcome.Decided = true
 	inst.outcome.Value = append([]byte(nil), n.value...)
-	payload := MarshalVectorPayload(n.id, chain.Marshal())
+	payload := marshalVectorChain(n.id, chain)
 	if n.cfg.T == 0 {
-		out := make([]model.Message, 0, n.cfg.N-1)
-		for _, to := range n.cfg.Nodes() {
-			if to != n.id {
-				out = append(out, model.Message{To: to, Kind: model.KindChainValue, Payload: payload})
-			}
-		}
-		return out
+		return model.AppendBroadcast(make([]model.Message, 0, n.cfg.N-1), n.cfg.N, n.id, model.KindChainValue, payload)
 	}
 	return []model.Message{{To: n.nodeAt(n.id, 1), Kind: model.KindChainValue, Payload: payload}}
 }
@@ -263,14 +269,14 @@ func (n *VectorNode) handleInstance(round int, s, from model.NodeID, chainBytes 
 		return []model.Message{{
 			To:      n.nodeAt(s, p+1),
 			Kind:    model.KindChainValue,
-			Payload: MarshalVectorPayload(s, next.Marshal()),
+			Payload: marshalVectorChain(s, next),
 		}}
 	case p == n.cfg.T:
 		next, err := chain.Extend(from, n.signer)
 		if err != nil {
 			panic(fmt.Sprintf("fd: %v extending vector chain: %v", n.id, err))
 		}
-		payload := MarshalVectorPayload(s, next.Marshal())
+		payload := marshalVectorChain(s, next)
 		out := make([]model.Message, 0, n.cfg.N-1-n.cfg.T)
 		for q := n.cfg.T + 1; q < n.cfg.N; q++ {
 			out = append(out, model.Message{

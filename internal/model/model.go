@@ -288,6 +288,32 @@ func (s NodeSet) String() string {
 	return "{" + strings.Join(parts, ",") + "}"
 }
 
+// CloneAppend returns a fresh slice holding base followed by extra. The
+// result never aliases base, and it is allocated with exactly the needed
+// capacity in one shot — use it instead of the
+// append(append([]NodeID(nil), base...), extra...) idiom, which allocates
+// twice when the first append's capacity is exact and invites aliasing
+// bugs when it is not.
+func CloneAppend(base []NodeID, extra ...NodeID) []NodeID {
+	out := make([]NodeID, 0, len(base)+len(extra))
+	out = append(out, base...)
+	return append(out, extra...)
+}
+
+// AppendBroadcast appends one message of the given kind and payload
+// addressed to every node except self, and returns the extended slice.
+// The payload slice is shared across all n-1 messages. This is the
+// protocols' broadcast idiom; it appends so callers can presize or reuse
+// dst and avoids the per-call slice that Config.Nodes would allocate.
+func AppendBroadcast(dst []Message, n int, self NodeID, kind MessageKind, payload []byte) []Message {
+	for q := 0; q < n; q++ {
+		if to := NodeID(q); to != self {
+			dst = append(dst, Message{To: to, Kind: kind, Payload: payload})
+		}
+	}
+	return dst
+}
+
 // Config captures the global parameters of a run: the system size and the
 // fault tolerance target. It validates the basic sanity constraints shared
 // by every protocol in the repository.

@@ -168,3 +168,24 @@ func TestNodeSetSortedQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCloneAppend(t *testing.T) {
+	base := []NodeID{0, 1, 2}
+	got := CloneAppend(base, 3)
+	if len(got) != 4 || got[3] != 3 {
+		t.Fatalf("CloneAppend = %v, want [0 1 2 3]", got)
+	}
+	if cap(got) != 4 {
+		t.Errorf("CloneAppend cap = %d, want exactly 4", cap(got))
+	}
+	got[0] = 9
+	if base[0] != 0 {
+		t.Error("CloneAppend result aliases its base")
+	}
+	if c := CloneAppend(nil); c == nil || len(c) != 0 {
+		t.Errorf("CloneAppend(nil) = %v, want empty non-nil copy semantics", c)
+	}
+	if c := CloneAppend(base); len(c) != 3 || &c[0] == &base[0] {
+		t.Error("CloneAppend without extras must still copy")
+	}
+}

@@ -1,0 +1,156 @@
+// Package perfbench holds the repository's headline hot-path benchmark
+// bodies. The root bench_test.go targets and the `fdbench -perf` JSON
+// suite both run these same closures, so the numbers in a PR description
+// (`go test -bench`) and the BENCH_<pr>.json trajectory can never
+// silently measure different workloads.
+package perfbench
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ba"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sig"
+	"repro/internal/sim"
+)
+
+// mustChain builds a hops-layer Ed25519 chain, the directory verifying
+// it, and one spare signer for extension benchmarks.
+func mustChain(b *testing.B, hops int) (*sig.Chain, sig.MapDirectory, []sig.Signer) {
+	b.Helper()
+	scheme, err := sig.ByName(sig.SchemeEd25519)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := make(sig.MapDirectory)
+	signers := make([]sig.Signer, hops+1)
+	for i := range signers {
+		s, err := scheme.Generate(rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		signers[i] = s
+		dir[model.NodeID(i)] = s.Predicate()
+	}
+	chain, err := sig.NewChain([]byte("value"), signers[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i < hops; i++ {
+		chain, err = chain.Extend(model.NodeID(i-1), signers[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return chain, dir, signers
+}
+
+// ChainVerify measures full chain verification at the given length.
+// cold resets the verified-signature memo every iteration (the first
+// receiver's cost: every layer pays a public-key verification); warm
+// leaves it in place (every re-verification of a chain the process has
+// already seen).
+func ChainVerify(hops int, cold bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		chain, dir, _ := mustChain(b, hops)
+		b.ReportMetric(float64(len(chain.Marshal())), "wire-bytes")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if cold {
+				b.StopTimer()
+				sig.ResetVerifyMemo()
+				b.StartTimer()
+			}
+			if _, err := chain.Verify(model.NodeID(hops-1), dir); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ChainExtend measures one chain extension (sign + derive the next
+// nested encoding) at the given chain length.
+func ChainExtend(hops int) func(b *testing.B) {
+	return func(b *testing.B) {
+		chain, _, signers := mustChain(b, hops)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := chain.Extend(model.NodeID(hops-1), signers[hops]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// EIG measures a full failure-free OM(t) agreement: path-keyed tree
+// ingestion, relaying, and the bottom-up resolve, across all n nodes.
+// Every iteration asserts that all nodes decided the sender's value, so
+// the benchmark cannot keep timing a silently broken agreement.
+func EIG(n, t int) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := model.Config{N: n, T: t}
+		value := []byte("v")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			entries := new(atomic.Int64)
+			nodes := make([]*ba.EIGNode, cfg.N)
+			procs := make([]sim.Process, cfg.N)
+			for j := 0; j < cfg.N; j++ {
+				opts := []ba.EIGOption{ba.WithEntryCounter(entries)}
+				if model.NodeID(j) == ba.Sender {
+					opts = append(opts, ba.WithEIGValue(value))
+				}
+				node, err := ba.NewEIGNode(cfg, model.NodeID(j), opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes[j] = node
+				procs[j] = node
+			}
+			eng, err := sim.New(cfg, procs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Run(ba.EIGEngineRounds(cfg.T))
+			for j, node := range nodes {
+				if d := node.Decision(); !bytes.Equal(d.Value, value) {
+					b.Fatalf("node %d decided %q, want %q", j, d.Value, value)
+				}
+			}
+		}
+	}
+}
+
+// FDRun measures one authenticated failure-discovery run on an
+// established cluster. The value varies per iteration: real runs carry
+// fresh values, so a fixed value would let every iteration after the
+// first ride the verified-signature memo and the benchmark would stop
+// measuring verification at all. Within one run, receivers re-verifying
+// layers an earlier hop verified DO hit the memo — the simulator's nodes
+// share a process, as they do in every sim-backed deployment here; a
+// cluster of separate OS processes would pay more.
+func FDRun(n, t int) func(b *testing.B) {
+	return func(b *testing.B) {
+		c, err := core.New(model.Config{N: n, T: t}, core.WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.EstablishAuthentication(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.RunFailureDiscovery([]byte(fmt.Sprintf("value-%d", i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -25,8 +25,14 @@ import (
 // every layer or one of them discovers a failure.
 //
 // On the wire a chain is encoded flat (value, names, signatures); the
-// nested encodings exist only as signature payloads and are recomputed
-// deterministically during signing and verification.
+// nested encodings exist only as signature payloads. A chain caches its
+// own nested encoding: Extend derives the next one from the cache with a
+// single append-style pass instead of re-encoding every layer, and Verify
+// recomputes the per-layer payloads in one forward sweep over two pooled
+// scratch buffers. A chain built by NewChain/Extend carries the cache from
+// birth; one parsed by UnmarshalChain fills it on first use (Verify or
+// Extend), so the usual receive→verify→extend hop never encodes the same
+// layer twice.
 
 // Domain-separation tags for chain signature payloads. Distinct tags keep
 // a signature obtained in one context (e.g. a key-distribution challenge
@@ -57,13 +63,19 @@ var (
 // nodes' (the G3 gap).
 type Directory interface {
 	// PredicateOf returns the accepted predicate for node, if any.
+	// Implementations should return the same predicate value on every
+	// call for a given node: chain verification caches a digest per
+	// predicate instance, so a stable value keeps that cache from
+	// growing with every call.
 	PredicateOf(node model.NodeID) (TestPredicate, bool)
 }
 
 // Chain is a parsed chain-signed message. The zero value is not useful;
-// build chains with NewChain and Chain.Extend.
+// build chains with NewChain and Chain.Extend. A Chain is immutable after
+// construction except for its lazily-filled nested-encoding cache, so a
+// single Chain must not be verified from multiple goroutines concurrently.
 type Chain struct {
-	// Value is the innermost payload m.
+	// value is the innermost payload m.
 	value []byte
 	// names[k] is the embedded assignee name for signature layer k,
 	// k = 0..len(sigs)-2. The outermost layer has no embedded name; its
@@ -71,6 +83,10 @@ type Chain struct {
 	names []model.NodeID
 	// sigs[k] is the signature of layer k, innermost first.
 	sigs [][]byte
+	// nested caches the chain's nested encoding — the byte string the
+	// next signer would sign together with an assignee name. nil only for
+	// chains fresh off the wire; filled by nestedEncoding.
+	nested []byte
 }
 
 // NewChain creates the innermost chain message {value}_{signer}: the
@@ -78,40 +94,66 @@ type Chain struct {
 // encoding; the first receiver attributes the signature to the immediate
 // sender, and any later signer pins that name into the next layer.
 func NewChain(value []byte, signer Signer) (*Chain, error) {
-	sig, err := signer.Sign(valuePayload(value))
+	e := GetEncoder()
+	e.Grow(BytesFieldSize(len(tagChainValue)) + BytesFieldSize(len(value)))
+	e.Raw(appendValuePayload(e.Encoding(), value))
+	sig, err := signer.Sign(e.Encoding())
+	e.Release()
 	if err != nil {
 		return nil, fmt.Errorf("sig: sign chain value: %w", err)
 	}
 	v := make([]byte, len(value))
 	copy(v, value)
-	return &Chain{value: v, sigs: [][]byte{sig}}, nil
+	nested := make([]byte, 0, BytesFieldSize(len(v))+BytesFieldSize(len(sig)))
+	nested = appendNestedRoot(nested, v, sig)
+	return &Chain{value: v, sigs: [][]byte{sig}, nested: nested}, nil
 }
 
 // Extend returns a new chain with one more signature layer: the caller
 // signs the existing chain together with outerAssignee, the name of the
 // node the caller assigns the current outermost signature to (in the
 // protocols of this repository, the node it received the chain from).
-// The receiver chain is not modified.
+// The receiver chain is not modified. The new chain's nested encoding is
+// derived from the receiver's cache in one pass — no per-layer
+// re-encoding.
 func (c *Chain) Extend(outerAssignee model.NodeID, signer Signer) (*Chain, error) {
 	if len(c.sigs) == 0 {
 		return nil, ErrChainEmpty
 	}
-	payload := linkPayload(outerAssignee, c.encodeNested())
-	sig, err := signer.Sign(payload)
+	nested := c.nestedEncoding()
+	e := GetEncoder()
+	e.Grow(BytesFieldSize(len(tagChainLink)) + IntFieldSize + BytesFieldSize(len(nested)))
+	e.Raw(appendLinkPayload(e.Encoding(), outerAssignee, nested))
+	sig, err := signer.Sign(e.Encoding())
+	e.Release()
 	if err != nil {
 		return nil, fmt.Errorf("sig: sign chain link: %w", err)
 	}
-	next := c.clone()
-	next.names = append(next.names, outerAssignee)
-	next.sigs = append(next.sigs, sig)
-	return next, nil
+	// The per-layer signature slices are never mutated, so the new chain
+	// shares them and only the spines (and the value, which Value exposes)
+	// are fresh.
+	value := make([]byte, len(c.value))
+	copy(value, c.value)
+	sigs := make([][]byte, len(c.sigs)+1)
+	copy(sigs, c.sigs)
+	sigs[len(c.sigs)] = sig
+	next := make([]byte, 0, IntFieldSize+BytesFieldSize(len(nested))+BytesFieldSize(len(sig)))
+	next = appendNestedLayer(next, outerAssignee, nested, sig)
+	return &Chain{
+		value:  value,
+		names:  model.CloneAppend(c.names, outerAssignee),
+		sigs:   sigs,
+		nested: next,
+	}, nil
 }
 
-// clone deep-copies the chain.
+// clone deep-copies the chain WITHOUT the nested-encoding cache, so
+// mutations of the copy's bytes (adversarial tests forge interior
+// signatures this way) are faithfully re-encoded on the next use.
 func (c *Chain) clone() *Chain {
 	out := &Chain{
 		value: append([]byte(nil), c.value...),
-		names: append([]model.NodeID(nil), c.names...),
+		names: model.CloneAppend(c.names),
 		sigs:  make([][]byte, len(c.sigs)),
 	}
 	for i, s := range c.sigs {
@@ -129,56 +171,116 @@ func (c *Chain) Len() int { return len(c.sigs) }
 // Names returns the embedded assignee names, innermost first. Its length
 // is Len()-1: the outermost layer's assignee comes from the transport.
 func (c *Chain) Names() []model.NodeID {
-	return append([]model.NodeID(nil), c.names...)
+	return model.CloneAppend(c.names)
 }
 
 // Signers returns the full claimed signer sequence given the immediate
 // sender: embedded names followed by the sender, innermost first. This is
 // the "P_0 said m, P_1 said that P_0 said m, …" reading from the paper.
 func (c *Chain) Signers(sender model.NodeID) []model.NodeID {
-	out := make([]model.NodeID, 0, len(c.sigs))
-	out = append(out, c.names...)
-	out = append(out, sender)
-	return out
+	return model.CloneAppend(c.names, sender)
 }
 
-// valuePayload is the byte string the originator signs.
+// The chain wire layouts are defined ONCE each, by the append helpers
+// below; every signing, verification, and cache-derivation path goes
+// through them. Anything that changes a layout changes it for all
+// callers at once — signing and verification cannot drift apart.
+
+// appendValuePayload appends the byte string the originator signs.
+func appendValuePayload(dst, value []byte) []byte {
+	dst = AppendString(dst, tagChainValue)
+	return AppendBytes(dst, value)
+}
+
+// appendLinkPayload appends the byte string a chain extender signs: the
+// assignee name of the enclosed message plus the enclosed message's
+// nested encoding.
+func appendLinkPayload(dst []byte, assignee model.NodeID, nested []byte) []byte {
+	dst = AppendString(dst, tagChainLink)
+	dst = AppendInt(dst, int(assignee))
+	return AppendBytes(dst, nested)
+}
+
+// appendNestedRoot appends the innermost nested-encoding layer
+// (value, sig_0).
+func appendNestedRoot(dst, value, sig0 []byte) []byte {
+	dst = AppendBytes(dst, value)
+	return AppendBytes(dst, sig0)
+}
+
+// appendNestedLayer appends one outer nested-encoding layer
+// (assignee, enclosed encoding, signature).
+func appendNestedLayer(dst []byte, assignee model.NodeID, enc, sg []byte) []byte {
+	dst = AppendInt(dst, int(assignee))
+	dst = AppendBytes(dst, enc)
+	return AppendBytes(dst, sg)
+}
+
+// valuePayload is appendValuePayload into a fresh exactly-sized buffer.
 func valuePayload(value []byte) []byte {
-	return NewEncoder().String(tagChainValue).Bytes(value).Encoding()
+	dst := make([]byte, 0, BytesFieldSize(len(tagChainValue))+BytesFieldSize(len(value)))
+	return appendValuePayload(dst, value)
 }
 
-// linkPayload is the byte string a chain extender signs: the assignee name
-// of the enclosed message plus the enclosed message's nested encoding.
+// linkPayload is appendLinkPayload into a fresh exactly-sized buffer.
 func linkPayload(assignee model.NodeID, nested []byte) []byte {
-	return NewEncoder().String(tagChainLink).Int(int(assignee)).Bytes(nested).Encoding()
+	dst := make([]byte, 0, BytesFieldSize(len(tagChainLink))+IntFieldSize+BytesFieldSize(len(nested)))
+	return appendLinkPayload(dst, assignee, nested)
 }
 
-// encodeNested computes the nested encoding of the whole chain: the byte
-// string that the NEXT signer would sign (together with an assignee name).
-// Layer k's nested encoding is (name_{k-1}, enc_{k-1}, sig_k) and the
-// innermost is (value, sig_0).
-func (c *Chain) encodeNested() []byte {
-	enc := NewEncoder().Bytes(c.value).Bytes(c.sigs[0]).Encoding()
+// nestedEncoding returns the chain's nested encoding — the byte string
+// that the NEXT signer would sign (together with an assignee name) —
+// computing and caching it for chains that came off the wire. Layer k's
+// nested encoding is (name_{k-1}, enc_{k-1}, sig_k) and the innermost is
+// (value, sig_0).
+func (c *Chain) nestedEncoding() []byte {
+	if c.nested == nil {
+		c.nested = c.computeNested()
+	}
+	return c.nested
+}
+
+// computeNested rebuilds the nested encoding bottom-up. Only chains
+// parsed from the wire and extended without an intervening Verify pay
+// this cost; everything else rides the cache.
+func (c *Chain) computeNested() []byte {
+	enc := appendNestedRoot(nil, c.value, c.sigs[0])
 	for k := 1; k < len(c.sigs); k++ {
-		enc = NewEncoder().
-			Int(int(c.names[k-1])).
-			Bytes(enc).
-			Bytes(c.sigs[k]).
-			Encoding()
+		next := make([]byte, 0, IntFieldSize+BytesFieldSize(len(enc))+BytesFieldSize(len(c.sigs[k])))
+		enc = appendNestedLayer(next, c.names[k-1], enc, c.sigs[k])
 	}
 	return enc
 }
 
-// Marshal produces the flat wire encoding of the chain.
+// Marshal produces the flat wire encoding of the chain in a single
+// exactly-sized allocation.
 func (c *Chain) Marshal() []byte {
-	e := NewEncoder().Bytes(c.value).Int(len(c.sigs))
+	return c.MarshalTo(make([]byte, 0, c.MarshalSize()))
+}
+
+// MarshalTo appends the flat wire encoding to dst and returns the
+// extended slice, for callers embedding a chain in a larger payload
+// without an intermediate copy.
+func (c *Chain) MarshalTo(dst []byte) []byte {
+	dst = AppendBytes(dst, c.value)
+	dst = AppendInt(dst, len(c.sigs))
 	for _, n := range c.names {
-		e.Int(int(n))
+		dst = AppendInt(dst, int(n))
 	}
 	for _, s := range c.sigs {
-		e.Bytes(s)
+		dst = AppendBytes(dst, s)
 	}
-	return e.Encoding()
+	return dst
+}
+
+// MarshalSize returns the exact size of the flat wire encoding, so
+// callers of MarshalTo can presize the destination buffer.
+func (c *Chain) MarshalSize() int {
+	size := BytesFieldSize(len(c.value)) + IntFieldSize + IntFieldSize*len(c.names)
+	for _, s := range c.sigs {
+		size += BytesFieldSize(len(s))
+	}
+	return size
 }
 
 // UnmarshalChain parses a flat wire encoding. It validates structure only;
@@ -221,6 +323,13 @@ func UnmarshalChain(data []byte) (*Chain, error) {
 // terms, assigned the complete message to the sender and every sub-message
 // to its stated node; Theorem 4 then guarantees all correct nodes make the
 // same assignments or some correct node discovers a failure.
+//
+// The per-layer payloads are recomputed in a single forward pass over two
+// pooled scratch buffers, and each (predicate, payload, signature) check
+// goes through the verified-signature memo, so re-verifying a chain the
+// process has already seen costs hashing instead of public-key
+// operations. On success the chain's nested-encoding cache is filled,
+// making a subsequent Extend allocation-minimal.
 func (c *Chain) Verify(sender model.NodeID, dir Directory) ([]model.NodeID, error) {
 	if len(c.sigs) == 0 {
 		return nil, ErrChainEmpty
@@ -230,22 +339,45 @@ func (c *Chain) Verify(sender model.NodeID, dir Directory) ([]model.NodeID, erro
 			ErrChainEncoding, len(c.names), len(c.sigs))
 	}
 	signers := c.Signers(sender)
-	// Recompute nested encodings innermost-out, verifying as we go.
-	payload := valuePayload(c.value)
-	enc := NewEncoder().Bytes(c.value).Bytes(c.sigs[0]).Encoding()
+	// pe holds layer k's signature payload, ne the nested encoding of
+	// layers 0..k. The two evolve together: payload_{k+1} is the link tag
+	// plus (name_k, nested_k), and nested_{k+1} is that same (name_k,
+	// nested_k) body plus sig_{k+1} — so each step encodes the body once
+	// in pe and copies it into ne instead of re-encoding.
+	const tagLen = 4 + len(tagChainLink)
+	pe, ne := GetEncoder(), GetEncoder()
+	defer pe.Release()
+	defer ne.Release()
+	pe.Grow(BytesFieldSize(len(tagChainValue)) + BytesFieldSize(len(c.value)))
+	pe.Raw(appendValuePayload(pe.Encoding(), c.value))
+	ne.Grow(BytesFieldSize(len(c.value)) + BytesFieldSize(len(c.sigs[0])))
+	ne.Raw(appendNestedRoot(ne.Encoding(), c.value, c.sigs[0]))
 	for k := 0; k < len(c.sigs); k++ {
 		who := signers[k]
 		pred, ok := dir.PredicateOf(who)
 		if !ok {
 			return nil, fmt.Errorf("%w: layer %d assigned to %v", ErrChainUnknownSigner, k, who)
 		}
-		if !pred.Test(payload, c.sigs[k]) {
+		if !chainVerifyMemo.test(pred, pe.Encoding(), c.sigs[k]) {
 			return nil, fmt.Errorf("%w: layer %d assigned to %v", ErrChainBadSignature, k, who)
 		}
 		if k+1 < len(c.sigs) {
-			payload = linkPayload(c.names[k], enc)
-			enc = NewEncoder().Int(int(c.names[k])).Bytes(enc).Bytes(c.sigs[k+1]).Encoding()
+			pe.Reset()
+			pe.Grow(tagLen + IntFieldSize + BytesFieldSize(ne.Len()))
+			pe.Raw(appendLinkPayload(pe.Encoding(), c.names[k], ne.Encoding()))
+			// nested_{k+1} is appendNestedLayer(name_k, nested_k, sig_{k+1});
+			// its (name, nested) body is payload_{k+1} minus the tag field,
+			// so splice it from pe instead of re-encoding.
+			body := pe.Encoding()[tagLen:]
+			ne.Reset()
+			ne.Grow(len(body) + BytesFieldSize(len(c.sigs[k+1])))
+			ne.Raw(body).Bytes(c.sigs[k+1])
 		}
+	}
+	if c.nested == nil {
+		// The forward pass ended on the full chain's nested encoding;
+		// keep it so a following Extend skips computeNested.
+		c.nested = ne.AppendTo(nil)
 	}
 	return signers, nil
 }
@@ -266,7 +398,7 @@ func (c *Chain) OuterVerify(pred TestPredicate) bool {
 		// Reconstruct the nested encoding of everything under the
 		// outermost layer.
 		inner := &Chain{value: c.value, names: c.names[:k-1], sigs: c.sigs[:k]}
-		payload = linkPayload(c.names[k-1], inner.encodeNested())
+		payload = linkPayload(c.names[k-1], inner.nestedEncoding())
 	}
 	return pred.Test(payload, c.sigs[k])
 }

@@ -1,0 +1,147 @@
+package sig
+
+import (
+	"crypto/sha256"
+	"io"
+	"sync"
+)
+
+// Verified-signature memo.
+//
+// Every receiver of a chain re-verifies the same (predicate, payload,
+// signature) triples: a relay verifies layers the previous relay already
+// verified, the tail nodes all verify the identical disseminated chain,
+// and the vector protocol multiplies that by n instances per round. The
+// signatures are immutable and the predicates deterministic, so a triple
+// that verified once verifies forever — memoizing successful checks turns
+// the O(K) public-key verifies a hop performs on a K-layer chain into
+// cache hits everywhere but the first verifier.
+//
+// Soundness: entries are keyed by SHA-256 digests of the predicate
+// (scheme-qualified Fingerprint plus full canonical key bytes — the
+// fingerprint alone is truncated, the key bytes alone lack scheme domain
+// separation; together a collision needs same scheme AND same key), the
+// payload, and the signature. Only SUCCESSFUL verifications are stored.
+// Equal scheme + key bytes parse to the same verification function, so
+// replaying a memoized triple is exactly re-presenting a signature that
+// already passed the same predicate; no forgery becomes acceptable that
+// Test itself would not accept (up to SHA-256 collisions, which the
+// schemes' own security already assumes away). Failures are deliberately
+// not cached so a predicate swap mid-run (tests do this) cannot mask a
+// later success.
+//
+// Keying by content digest rather than predicate pointer identity is
+// what makes cross-node hits real: under local authentication every node
+// parses its own TestPredicate instance from the key-distribution wire
+// bytes, so the n tail receivers of one disseminated chain hold n
+// different pointers to the same key. (Hits span nodes only when they
+// share a process, as the simulator's do; separate OS processes keep
+// separate memos.)
+//
+// Both tables are bounded. The memo proper is two-generation: inserts go
+// to the current generation, and when it fills the previous generation
+// is dropped and the current one takes its place — lookups consult both,
+// so the hot working set survives rotation. The per-instance predicate
+// digest cache is cleared wholesale when it exceeds its limit, so
+// Monte-Carlo workloads that mint predicates forever cannot pin them all
+// in memory.
+
+// memoKey identifies one verification by content digests alone; it
+// retains no pointers.
+type memoKey struct {
+	pred    [sha256.Size]byte
+	payload [sha256.Size]byte
+	sig     [sha256.Size]byte
+}
+
+// memoGenerationLimit bounds each memo generation; the memo holds at
+// most twice this many entries. predCacheLimit bounds the predicate
+// digest cache (and therefore how many predicate instances it retains).
+const (
+	memoGenerationLimit = 1 << 14
+	predCacheLimit      = 1 << 12
+)
+
+type verifyMemo struct {
+	mu    sync.Mutex
+	cur   map[memoKey]struct{}
+	prev  map[memoKey]struct{}
+	preds map[TestPredicate][sha256.Size]byte
+}
+
+var chainVerifyMemo = &verifyMemo{
+	cur:   make(map[memoKey]struct{}),
+	preds: make(map[TestPredicate][sha256.Size]byte),
+}
+
+// computePredDigest derives the scheme-separated predicate digest.
+func computePredDigest(pred TestPredicate) [sha256.Size]byte {
+	h := sha256.New()
+	io.WriteString(h, pred.Fingerprint())
+	h.Write([]byte{0})
+	h.Write(pred.Bytes())
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// digestOf returns the predicate's memo digest, cached per instance so
+// the steady-state cost is one map read per layer.
+func (m *verifyMemo) digestOf(pred TestPredicate) [sha256.Size]byte {
+	m.mu.Lock()
+	d, ok := m.preds[pred]
+	m.mu.Unlock()
+	if ok {
+		return d
+	}
+	d = computePredDigest(pred)
+	m.mu.Lock()
+	if len(m.preds) >= predCacheLimit {
+		m.preds = make(map[TestPredicate][sha256.Size]byte, predCacheLimit)
+	}
+	m.preds[pred] = d
+	m.mu.Unlock()
+	return d
+}
+
+// test is the memoized counterpart of pred.Test.
+func (m *verifyMemo) test(pred TestPredicate, payload, sg []byte) bool {
+	key := memoKey{pred: m.digestOf(pred), payload: sha256.Sum256(payload), sig: sha256.Sum256(sg)}
+	m.mu.Lock()
+	_, hit := m.cur[key]
+	if !hit {
+		_, hit = m.prev[key]
+	}
+	m.mu.Unlock()
+	if hit {
+		return true
+	}
+	if !pred.Test(payload, sg) {
+		return false
+	}
+	m.mu.Lock()
+	if len(m.cur) >= memoGenerationLimit {
+		m.prev = m.cur
+		m.cur = make(map[memoKey]struct{}, memoGenerationLimit)
+	}
+	m.cur[key] = struct{}{}
+	m.mu.Unlock()
+	return true
+}
+
+// reset drops every memoized verification. The predicate digest cache
+// survives: digests are pure functions of their predicates, so keeping
+// them is always sound, and reset exists to measure cold VERIFICATION —
+// a long-lived process has its peers' digests cached even when every
+// chain is new. The cache stays bounded by predCacheLimit regardless.
+func (m *verifyMemo) reset() {
+	m.mu.Lock()
+	m.cur = make(map[memoKey]struct{})
+	m.prev = nil
+	m.mu.Unlock()
+}
+
+// ResetVerifyMemo drops all memoized chain-signature verifications.
+// Benchmarks call it to measure cold verification; production code never
+// needs to.
+func ResetVerifyMemo() { chainVerifyMemo.reset() }

@@ -29,7 +29,10 @@ import (
 type Process interface {
 	// Step runs one round and returns the messages to send this round.
 	// The engine stamps From and Round on each returned message; a process
-	// only sets To, Kind, and Payload.
+	// only sets To, Kind, and Payload. Callers must consume the returned
+	// slice before the next Step call: processes may reuse its backing
+	// array across rounds (the engine and the transport runner both copy
+	// or send the messages immediately).
 	Step(round int, received []model.Message) []model.Message
 }
 

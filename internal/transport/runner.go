@@ -64,9 +64,11 @@ func (r *Runner) Run(maxRounds int) (model.View, error) {
 				return view, fmt.Errorf("transport: send round %d: %w", round, err)
 			}
 		}
-		// Announce completion of this round to every peer.
+		// Announce completion of this round to every peer. The marker is
+		// identical for all of them, so encode it once, not per peer.
+		done := encodeFrame(frameDone, round, 0, nil)
 		for _, p := range peers {
-			if err := r.tr.Send(p, encodeFrame(frameDone, round, 0, nil)); err != nil {
+			if err := r.tr.Send(p, done); err != nil {
 				return view, fmt.Errorf("transport: done round %d: %w", round, err)
 			}
 		}

@@ -51,14 +51,14 @@ const (
 	frameDone    = 2 // round-completion marker
 )
 
-// encodeFrame packs a protocol message or DONE marker.
+// encodeFrame packs a protocol message or DONE marker in one
+// exactly-sized allocation.
 func encodeFrame(ftype int, round int, kind model.MessageKind, payload []byte) []byte {
-	return sig.NewEncoder().
-		Int(ftype).
-		Int(round).
-		Int(int(kind)).
-		Bytes(payload).
-		Encoding()
+	out := make([]byte, 0, 3*sig.IntFieldSize+sig.BytesFieldSize(len(payload)))
+	out = sig.AppendInt(out, ftype)
+	out = sig.AppendInt(out, round)
+	out = sig.AppendInt(out, int(kind))
+	return sig.AppendBytes(out, payload)
 }
 
 // decodeFrame unpacks a frame.
