@@ -1,0 +1,134 @@
+// Command fdcampaign runs declarative scenario sweeps over the
+// failure-discovery and agreement protocols: a Spec (JSON file or flags)
+// names a grid over protocol × n × t × signature scheme × adversary mix
+// × seed range, and the campaign engine executes the expanded instances
+// on a sharded worker pool and aggregates the outcomes.
+//
+// Usage:
+//
+//	fdcampaign                             # built-in demo grid, all CPUs
+//	fdcampaign -spec sweep.json            # load a spec document
+//	fdcampaign -protocols chain,eig -sizes 4,7 -seeds 5
+//	fdcampaign -workers 1 -json out.json   # reproducible machine output
+//	fdcampaign -json -                     # JSON to stdout
+//
+// The aggregate output is byte-identical for any -workers value on the
+// same spec — the determinism contract the campaign tests enforce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/sig"
+)
+
+func main() {
+	var (
+		specPath    = flag.String("spec", "", "path to a JSON campaign spec (overrides the grid flags)")
+		name        = flag.String("name", "fdcampaign", "campaign name used in reports")
+		protocols   = flag.String("protocols", "chain,nonauth", "comma-separated protocols: chain,nonauth,smallrange,vector,eig")
+		sizes       = flag.String("sizes", "4,8,16", "comma-separated system sizes n")
+		tols        = flag.String("tols", "", "comma-separated fault bounds t (empty = classical (n-1)/3 per size)")
+		schemes     = flag.String("schemes", sig.SchemeEd25519, "comma-separated signature schemes")
+		adversaries = flag.String("adversaries", "none,crash-relay", "comma-separated adversary mixes: none,crash-sender,crash-relay,equivocate")
+		seedBase    = flag.Int64("seed-base", 19950530, "base seed of the deterministic seed range")
+		seeds       = flag.Int("seeds", 10, "seeded repetitions per configuration")
+		workers     = flag.Int("workers", 0, "worker shards (0 = one per CPU)")
+		jsonOut     = flag.String("json", "", "write the machine-readable report to this path ('-' = stdout)")
+		csv         = flag.Bool("csv", false, "render the summary table as CSV")
+	)
+	flag.Parse()
+
+	var (
+		spec campaign.Spec
+		err  error
+	)
+	if *specPath != "" {
+		spec, err = campaign.LoadSpec(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		spec = campaign.Spec{
+			Name:        *name,
+			Protocols:   splitList(*protocols),
+			Sizes:       splitInts(*sizes),
+			Tols:        splitInts(*tols),
+			Schemes:     splitList(*schemes),
+			Adversaries: splitList(*adversaries),
+			SeedBase:    *seedBase,
+			SeedCount:   *seeds,
+		}
+		if err := spec.Validate(); err != nil {
+			fatal(err)
+		}
+	}
+
+	instances, err := campaign.Expand(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fdcampaign: %d instances across %d protocols\n",
+		len(instances), len(spec.Protocols))
+
+	report, err := campaign.Run(spec, *workers)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut != "" {
+		data, err := report.CanonicalJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+			return
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fdcampaign: wrote %s\n", *jsonOut)
+	}
+	if *jsonOut != "-" {
+		if *csv {
+			report.Table().RenderCSV(os.Stdout)
+		} else {
+			report.Table().Render(os.Stdout)
+		}
+	}
+}
+
+// splitList parses a comma-separated list, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// splitInts parses a comma-separated integer list.
+func splitInts(s string) []int {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fatal(fmt.Errorf("fdcampaign: bad integer %q: %w", part, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fdcampaign: %v\n", err)
+	os.Exit(1)
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -189,6 +190,70 @@ func TestPathKeyAllocs(t *testing.T) {
 	}
 	if allocs != 0 {
 		t.Errorf("packed-key build+lookup allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// makeOralPayload builds a marshaled batch of k entries with paths of
+// the given length, shaped like a mid-run relay batch.
+func makeOralPayload(k, plen int) []byte {
+	entries := make([]OralEntry, k)
+	for i := range entries {
+		path := make([]model.NodeID, plen)
+		for j := range path {
+			path[j] = model.NodeID((i + j) % 16)
+		}
+		entries[i] = OralEntry{Path: path, Value: []byte(fmt.Sprintf("value-%d", i))}
+	}
+	return MarshalOralEntries(entries)
+}
+
+func TestUnmarshalOralEntriesRoundTrip(t *testing.T) {
+	in := []OralEntry{
+		{Path: []model.NodeID{0}, Value: []byte("root")},
+		{Path: []model.NodeID{0, 3}, Value: []byte{}},
+		{Path: []model.NodeID{0, 3, 7}, Value: []byte("deep")},
+	}
+	got, err := unmarshalOralEntries(MarshalOralEntries(in))
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("got %d entries, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if !reflect.DeepEqual(got[i].Path, in[i].Path) {
+			t.Errorf("entry %d path = %v, want %v", i, got[i].Path, in[i].Path)
+		}
+		if !bytes.Equal(got[i].Value, in[i].Value) {
+			t.Errorf("entry %d value = %q, want %q", i, got[i].Value, in[i].Value)
+		}
+	}
+	// The arena-backed subslices must be capacity-clipped: appending to
+	// one entry's path or value must not clobber its neighbor.
+	got[0].Path = append(got[0].Path, 99)
+	got[0].Value = append(got[0].Value, 'X')
+	if got[1].Path[0] != 0 || !bytes.Equal(got[2].Value, []byte("deep")) {
+		t.Error("appending to one entry corrupted a neighbor: arena slices not capacity-clipped")
+	}
+}
+
+// TestUnmarshalOralEntriesAllocs pins the arena decode: a k-entry batch
+// costs a constant number of allocations (entry slice, path arena, value
+// arena), not O(k) — the per-entry path allocation was a ROADMAP hot spot.
+func TestUnmarshalOralEntriesAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	for _, k := range []int{1, 16, 256} {
+		payload := makeOralPayload(k, 4)
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, err := unmarshalOralEntries(payload); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+		})
+		if allocs > 4 {
+			t.Errorf("k=%d: unmarshalOralEntries allocates %.1f times per op, want <= 4", k, allocs)
+		}
 	}
 }
 

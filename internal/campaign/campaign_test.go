@@ -1,0 +1,287 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/sig"
+)
+
+// toySpec returns a sweep sized for tests: ≥ 100 instances across two
+// protocols under the fast toy scheme.
+func toySpec() Spec {
+	return Spec{
+		Name:        "test-sweep",
+		Protocols:   []string{ProtoChain, ProtoNonAuth},
+		Sizes:       []int{4, 6},
+		Schemes:     []string{sig.SchemeToy},
+		Adversaries: []string{AdvNone, AdvCrashRelay},
+		SeedBase:    7,
+		SeedCount:   13,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"valid", toySpec(), true},
+		{"no protocols", Spec{Sizes: []int{4}}, false},
+		{"unknown protocol", Spec{Protocols: []string{"quantum"}, Sizes: []int{4}}, false},
+		{"no sizes or cases", Spec{Protocols: []string{ProtoChain}}, false},
+		{"unknown adversary", Spec{Protocols: []string{ProtoChain}, Sizes: []int{4}, Adversaries: []string{"gremlin"}}, false},
+		{"unknown scheme", Spec{Protocols: []string{ProtoChain}, Sizes: []int{4}, Schemes: []string{"rot13"}}, false},
+		{"tiny size", Spec{Protocols: []string{ProtoChain}, Sizes: []int{1}}, false},
+		{"explicit cases", Spec{Protocols: []string{ProtoChain}, Cases: []Case{{N: 5, T: 1}}}, true},
+	} {
+		err := tc.spec.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: Validate = %v, want nil", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: Validate accepted an invalid spec", tc.name)
+		}
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"name":"x","protocols":["chain"],"sizes":[4],"worker_count":8}`)); err == nil {
+		t.Error("ParseSpec accepted an unknown field; typos must fail loudly")
+	}
+	s, err := ParseSpec([]byte(`{"name":"x","protocols":["chain"],"sizes":[4],"seed_count":2}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if s.SeedCount != 2 || s.Name != "x" {
+		t.Errorf("ParseSpec = %+v", s)
+	}
+}
+
+func TestExpandDeterministicAndComplete(t *testing.T) {
+	spec := toySpec()
+	a, err := Expand(spec)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	b, _ := Expand(spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two expansions of the same spec differ")
+	}
+	// 2 protocols × 2 sizes × 1 scheme × 2 adversaries × 13 seeds.
+	if want := 2 * 2 * 2 * 13; len(a) != want {
+		t.Fatalf("expanded %d instances, want %d", len(a), want)
+	}
+	protos := map[string]int{}
+	for i, inst := range a {
+		if inst.Index != i {
+			t.Fatalf("instance %d has Index %d", i, inst.Index)
+		}
+		protos[inst.Protocol]++
+	}
+	if len(protos) != 2 {
+		t.Errorf("protocols covered = %v, want 2", protos)
+	}
+	// nonauth is unsigned: its instances must not carry a scheme.
+	for _, inst := range a {
+		if inst.Protocol == ProtoNonAuth && inst.Scheme != "" {
+			t.Fatalf("nonauth instance carries scheme %q", inst.Scheme)
+		}
+	}
+}
+
+func TestExpandSkipRules(t *testing.T) {
+	// eig needs n > 3t: at n=4, only t=1 survives from {1, 2}.
+	insts, err := Expand(Spec{
+		Protocols: []string{ProtoEIG},
+		Sizes:     []int{4},
+		Tols:      []int{1, 2},
+		SeedBase:  1,
+		SeedCount: 1,
+	})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(insts) != 1 || insts[0].T != 1 {
+		t.Errorf("eig skip rule failed: %+v", insts)
+	}
+	// equivocate is unsupported for smallrange and vector.
+	insts, err = Expand(Spec{
+		Protocols:   []string{ProtoSmallRange, ProtoVector, ProtoChain},
+		Cases:       []Case{{N: 5, T: 1}},
+		Adversaries: []string{AdvEquivocate},
+		SeedCount:   1,
+	})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(insts) != 1 || insts[0].Protocol != ProtoChain {
+		t.Errorf("equivocate skip rule failed: %+v", insts)
+	}
+	// An all-skipped spec errors rather than silently succeeding.
+	if _, err := Expand(Spec{
+		Protocols:   []string{ProtoSmallRange},
+		Cases:       []Case{{N: 4, T: 1}},
+		Adversaries: []string{AdvEquivocate},
+		SeedCount:   1,
+	}); err == nil {
+		t.Error("zero-instance expansion did not error")
+	}
+}
+
+func TestRunInstanceDeterministic(t *testing.T) {
+	inst := Instance{Index: 3, Protocol: ProtoChain, N: 5, T: 1, Scheme: sig.SchemeToy, Adversary: AdvNone, Seed: 42}
+	a := RunInstance(inst)
+	b := RunInstance(inst)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical instances produced different results:\n%+v\n%+v", a, b)
+	}
+	if a.Err != "" {
+		t.Fatalf("honest chain instance failed: %s", a.Err)
+	}
+	if !a.Agreed || a.Discovered {
+		t.Errorf("honest chain run: agreed=%v discovered=%v", a.Agreed, a.Discovered)
+	}
+	if a.Messages != fd.ChainMessages(5, 1) {
+		t.Errorf("chain messages = %d, want n-1 = %d", a.Messages, fd.ChainMessages(5, 1))
+	}
+}
+
+func TestRunInstanceAdversaries(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		inst          Instance
+		wantAgreed    bool
+		wantDiscovery bool
+	}{
+		{"chain crash-relay",
+			Instance{Protocol: ProtoChain, N: 5, T: 1, Scheme: sig.SchemeToy, Adversary: AdvCrashRelay, Seed: 1},
+			false, true},
+		{"chain equivocate",
+			Instance{Protocol: ProtoChain, N: 6, T: 2, Scheme: sig.SchemeToy, Adversary: AdvEquivocate, Seed: 1},
+			false, true},
+		{"nonauth crash-sender",
+			Instance{Protocol: ProtoNonAuth, N: 5, T: 1, Adversary: AdvCrashSender, Seed: 1},
+			false, true},
+		{"smallrange honest",
+			Instance{Protocol: ProtoSmallRange, N: 5, T: 1, Scheme: sig.SchemeToy, Adversary: AdvNone, Seed: 1},
+			true, false},
+		{"vector honest",
+			Instance{Protocol: ProtoVector, N: 4, T: 1, Scheme: sig.SchemeToy, Adversary: AdvNone, Seed: 1},
+			true, false},
+		// A crashed relay breaks every rotated instance that routes
+		// through it: correct nodes discover (not decide) there, so the
+		// strict all-decided agreement flag drops.
+		{"vector crash-relay",
+			Instance{Protocol: ProtoVector, N: 4, T: 1, Scheme: sig.SchemeToy, Adversary: AdvCrashRelay, Seed: 1},
+			false, true},
+		{"eig honest",
+			Instance{Protocol: ProtoEIG, N: 4, T: 1, Adversary: AdvNone, Seed: 1},
+			true, false},
+		{"eig equivocate agrees anyway (n > 3t)",
+			Instance{Protocol: ProtoEIG, N: 7, T: 2, Adversary: AdvEquivocate, Seed: 1},
+			true, false},
+	} {
+		res := RunInstance(tc.inst)
+		if res.Err != "" {
+			t.Errorf("%s: error: %s", tc.name, res.Err)
+			continue
+		}
+		if res.Agreed != tc.wantAgreed || res.Discovered != tc.wantDiscovery {
+			t.Errorf("%s: agreed=%v discovered=%v, want %v/%v",
+				tc.name, res.Agreed, res.Discovered, tc.wantAgreed, tc.wantDiscovery)
+		}
+	}
+}
+
+func TestRunInstanceReportsErrors(t *testing.T) {
+	res := RunInstance(Instance{Protocol: ProtoChain, N: 5, T: 1, Scheme: "no-such-scheme", Seed: 1})
+	if res.Err == "" {
+		t.Error("bad scheme did not surface in Result.Err")
+	}
+	res = RunInstance(Instance{Protocol: "bogus", N: 5, T: 1, Seed: 1})
+	if res.Err == "" {
+		t.Error("bogus protocol did not surface in Result.Err")
+	}
+}
+
+// TestReportWorkerCountInvariance is the campaign determinism contract:
+// the canonical JSON of a ≥100-instance sweep across ≥2 protocols must
+// be byte-identical for 1 worker and 8 workers.
+func TestReportWorkerCountInvariance(t *testing.T) {
+	spec := toySpec()
+	insts, err := Expand(spec)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(insts) < 100 {
+		t.Fatalf("differential spec has %d instances; the contract test needs >= 100", len(insts))
+	}
+	rep1, err := Run(spec, 1)
+	if err != nil {
+		t.Fatalf("Run(workers=1): %v", err)
+	}
+	rep8, err := Run(spec, 8)
+	if err != nil {
+		t.Fatalf("Run(workers=8): %v", err)
+	}
+	j1, err := rep1.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON: %v", err)
+	}
+	j8, err := rep8.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON: %v", err)
+	}
+	if !bytes.Equal(j1, j8) {
+		t.Fatal("aggregate JSON differs between 1 and 8 workers; the campaign lost its determinism guarantee")
+	}
+	// The report must actually contain aggregates, not vacuous output.
+	if len(rep1.Groups) != 8 {
+		t.Errorf("got %d groups, want 8", len(rep1.Groups))
+	}
+	for _, g := range rep1.Groups {
+		if g.Errors != 0 {
+			t.Errorf("group %s: %d errored instances", g.Key, g.Errors)
+		}
+		if g.Adversary == AdvNone && g.AgreeRate != 1 {
+			t.Errorf("group %s: honest agree rate %v, want 1", g.Key, g.AgreeRate)
+		}
+		if g.Protocol == ProtoChain && g.Adversary == AdvNone && g.Messages.Mean != float64(g.N-1) {
+			t.Errorf("group %s: mean messages %v, want n-1", g.Key, g.Messages.Mean)
+		}
+	}
+}
+
+func TestReportJSONRoundTrips(t *testing.T) {
+	rep, err := Run(Spec{
+		Protocols: []string{ProtoChain},
+		Cases:     []Case{{N: 4, T: 1}},
+		Schemes:   []string{sig.SchemeToy},
+		SeedBase:  3,
+		SeedCount: 2,
+	}, 2)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	data, err := rep.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip unmarshal: %v", err)
+	}
+	if back.Schema != ReportSchema || back.Instances != 2 || len(back.Results) != 2 {
+		t.Errorf("round-trip lost data: %+v", back)
+	}
+	tbl := rep.Table().String()
+	if !strings.Contains(tbl, "chain") {
+		t.Errorf("table missing protocol column:\n%s", tbl)
+	}
+}

@@ -1,0 +1,163 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Instance is one fully specified, independently runnable simulation:
+// a protocol at one (n, t) under one scheme, one adversary mix, and one
+// seed. Instances are self-contained — RunInstance derives all key
+// material, RNG streams, and metric sinks from the fields here, sharing
+// nothing with any other instance.
+type Instance struct {
+	// Index is the instance's position in the expansion order; the
+	// runner stores results by Index so aggregation order never depends
+	// on worker scheduling.
+	Index int `json:"index"`
+	// Protocol is one of the Proto* names.
+	Protocol string `json:"protocol"`
+	// N and T are the system size and fault bound.
+	N int `json:"n"`
+	T int `json:"t"`
+	// Scheme is the signature-scheme registry name ("" for protocols
+	// that use no signatures).
+	Scheme string `json:"scheme,omitempty"`
+	// Adversary is one of the Adv* names.
+	Adversary string `json:"adversary"`
+	// Seed drives every random choice inside the instance.
+	Seed int64 `json:"seed"`
+}
+
+// GroupKey identifies the instance's aggregation group: everything but
+// the seed. Instances differing only in Seed are repetitions of the same
+// configuration and aggregate together.
+func (i Instance) GroupKey() string {
+	scheme := i.Scheme
+	if scheme == "" {
+		scheme = "-"
+	}
+	return fmt.Sprintf("%s/n=%d/t=%d/%s/%s", i.Protocol, i.N, i.T, scheme, i.Adversary)
+}
+
+// usesSignatures reports whether the protocol consumes a signature
+// scheme. Unsigned protocols expand once per configuration instead of
+// once per scheme (their runs would be identical), with Scheme left "".
+func usesSignatures(protocol string) bool {
+	switch protocol {
+	case ProtoNonAuth, ProtoEIG:
+		return false
+	}
+	return true
+}
+
+// supports reports whether the (protocol, n, t, adversary) combination
+// is expressible. Skipped combinations are documented here, in one
+// place, so expansion stays a pure function of the Spec:
+//
+//   - every protocol needs the model's basic sanity (2 ≤ n, 0 ≤ t < n);
+//   - eig (OM(t)) additionally needs n > 3t and n ≤ 256;
+//   - any adversary needs t ≥ 1 (a fault outside the bound proves nothing);
+//   - equivocate needs a distinguished sender with a value range wider
+//     than the protocol's silence encoding: chain, nonauth, and eig
+//     qualify; smallrange (one bit) and vector (all nodes send) do not;
+//   - crash-relay needs n ≥ 3 so P_1 is not the only other node.
+func supports(protocol string, n, t int, adversary string) bool {
+	if err := (model.Config{N: n, T: t}).Validate(); err != nil {
+		return false
+	}
+	if protocol == ProtoEIG && (n <= 3*t || n > 256) {
+		return false
+	}
+	if adversary != AdvNone && t < 1 {
+		return false
+	}
+	switch adversary {
+	case AdvEquivocate:
+		if protocol == ProtoSmallRange || protocol == ProtoVector {
+			return false
+		}
+	case AdvCrashRelay:
+		if n < 3 {
+			return false
+		}
+	}
+	return true
+}
+
+// classicTol is the classical fault bound t = ⌊(n−1)/3⌋, floored at 1 so
+// small systems still exercise a non-trivial bound.
+func classicTol(n int) int {
+	t := (n - 1) / 3
+	if t < 1 {
+		t = 1
+	}
+	if t >= n {
+		t = n - 1
+	}
+	return t
+}
+
+// cases resolves the spec's (n, t) list: explicit Cases verbatim, else
+// Sizes × Tols, else Sizes with the classical bound.
+func (s Spec) cases() []Case {
+	if len(s.Cases) > 0 {
+		return s.Cases
+	}
+	var out []Case
+	for _, n := range s.Sizes {
+		if len(s.Tols) == 0 {
+			out = append(out, Case{N: n, T: classicTol(n)})
+			continue
+		}
+		for _, t := range s.Tols {
+			out = append(out, Case{N: n, T: t})
+		}
+	}
+	return out
+}
+
+// Expand resolves the spec into its deterministic instance list. The
+// order is the nested iteration protocol → case → scheme → adversary →
+// seed; unsupported combinations are skipped. Seeds are SeedBase,
+// SeedBase+1, … per configuration, so two configurations share seed
+// values but never RNG streams (every instance mixes its seed with its
+// node IDs through sim.NodeSeed).
+func Expand(spec Spec) ([]Instance, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	var out []Instance
+	for _, protocol := range spec.Protocols {
+		schemes := spec.Schemes
+		if !usesSignatures(protocol) {
+			schemes = []string{""}
+		}
+		for _, c := range spec.cases() {
+			for _, scheme := range schemes {
+				for _, adv := range spec.Adversaries {
+					if !supports(protocol, c.N, c.T, adv) {
+						continue
+					}
+					for s := 0; s < spec.SeedCount; s++ {
+						out = append(out, Instance{
+							Index:     len(out),
+							Protocol:  protocol,
+							N:         c.N,
+							T:         c.T,
+							Scheme:    scheme,
+							Adversary: adv,
+							Seed:      spec.SeedBase + int64(s),
+						})
+					}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("campaign: spec %q expands to zero instances", spec.Name)
+	}
+	return out, nil
+}

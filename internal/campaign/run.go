@@ -1,0 +1,362 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/ba"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/keydist"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sig"
+	"repro/internal/sim"
+)
+
+// Result is the outcome of one instance. Only plain data — it marshals
+// into the campaign report, and equality of two Results is equality of
+// their JSON.
+type Result struct {
+	// Index echoes the instance's expansion position.
+	Index int `json:"index"`
+	// Group echoes Instance.GroupKey for self-contained reports.
+	Group string `json:"group"`
+	// Seed echoes the instance seed.
+	Seed int64 `json:"seed"`
+	// Err is set when the instance could not run; such instances carry
+	// no measurements and are counted separately in the aggregate.
+	Err string `json:"err,omitempty"`
+	// Agreed reports whether every correct node decided and all correct
+	// decisions matched (for vector: over every instance with a correct
+	// sender).
+	Agreed bool `json:"agreed"`
+	// Discovered reports whether at least one correct node discovered a
+	// failure.
+	Discovered bool `json:"discovered"`
+	// Rounds is the number of engine steps the protocol phase ran.
+	Rounds int `json:"rounds"`
+	// CommRounds is the number of rounds that carried traffic.
+	CommRounds int `json:"comm_rounds"`
+	// Messages and Bytes are the protocol-phase traffic totals (key
+	// distribution, where a protocol needs it, is not counted — the
+	// paper amortizes it across runs).
+	Messages int `json:"messages"`
+	Bytes    int `json:"bytes"`
+	// SignedMessages counts the messages whose kind carries signatures.
+	SignedMessages int `json:"signed_messages"`
+}
+
+// signedKinds are the message kinds that carry signature material.
+var signedKinds = []model.MessageKind{
+	model.KindChainValue,
+	model.KindChallengeResponse,
+	model.KindSigned,
+	model.KindFault,
+	model.KindFaultEcho,
+	model.KindFallback,
+}
+
+// countSigned sums the signature-bearing kinds in a snapshot.
+func countSigned(s metrics.Snapshot) int {
+	total := 0
+	for _, k := range signedKinds {
+		total += s.ByKind[k]
+	}
+	return total
+}
+
+// campaignValue is the sender's proposal in multi-byte-value protocols.
+// It matches the value package experiments always sent, so campaign-
+// ported tables (E2, E3) keep byte-for-byte continuity with the seed
+// tree's wire traffic.
+var campaignValue = []byte("value")
+
+// campaignAltValue is the equivocating sender's second face.
+var campaignAltValue = []byte("forged")
+
+// RunInstance executes one instance in full isolation: key material,
+// RNG streams, every process, and the metrics sink all derive from the
+// instance alone, so any number of RunInstance calls may execute
+// concurrently. Errors are reported in Result.Err rather than aborting —
+// one misconfigured combination must not kill a thousand-instance sweep.
+func RunInstance(inst Instance) Result {
+	res := Result{Index: inst.Index, Group: inst.GroupKey(), Seed: inst.Seed}
+	var err error
+	switch inst.Protocol {
+	case ProtoChain, ProtoNonAuth, ProtoSmallRange:
+		err = runClusterInstance(inst, &res)
+	case ProtoVector:
+		err = runVectorInstance(inst, &res)
+	case ProtoEIG:
+		err = runEIGInstance(inst, &res)
+	default:
+		err = fmt.Errorf("campaign: unknown protocol %q", inst.Protocol)
+	}
+	if err != nil {
+		res.Err = err.Error()
+	}
+	return res
+}
+
+// runClusterInstance runs the core.Cluster-backed protocols (chain,
+// nonauth, smallrange).
+func runClusterInstance(inst Instance, res *Result) error {
+	opts := []core.Option{core.WithSeed(inst.Seed)}
+	if inst.Scheme != "" {
+		opts = append(opts, core.WithScheme(inst.Scheme))
+	}
+	c, err := core.New(model.Config{N: inst.N, T: inst.T}, opts...)
+	if err != nil {
+		return err
+	}
+	var protocol core.Protocol
+	value := campaignValue
+	switch inst.Protocol {
+	case ProtoChain:
+		protocol = core.ProtocolChain
+	case ProtoNonAuth:
+		protocol = core.ProtocolNonAuth
+	case ProtoSmallRange:
+		protocol = core.ProtocolSmallRange
+		value = []byte{1}
+	}
+	if protocol != core.ProtocolNonAuth {
+		if _, err := c.EstablishAuthentication(); err != nil {
+			return err
+		}
+	}
+	runOpts := []core.RunOption{core.WithProtocol(protocol)}
+	switch inst.Adversary {
+	case AdvCrashSender:
+		runOpts = append(runOpts, core.WithProcess(fd.Sender, sim.Silent{}))
+	case AdvCrashRelay:
+		runOpts = append(runOpts, core.WithProcess(1, sim.Silent{}))
+	case AdvEquivocate:
+		split := model.NodeID(inst.N / 2)
+		if protocol == core.ProtocolNonAuth {
+			runOpts = append(runOpts, core.WithProcess(fd.Sender,
+				adversary.NewEquivocatingPlainSender(c.Config(), campaignValue, campaignAltValue, split)))
+		} else {
+			signer, err := c.Signer(fd.Sender)
+			if err != nil {
+				return err
+			}
+			runOpts = append(runOpts, core.WithProcess(fd.Sender,
+				adversary.NewEquivocatingSender(c.Config(), signer, campaignValue, campaignAltValue, split)))
+		}
+	}
+	rep, err := c.RunFailureDiscovery(value, runOpts...)
+	if err != nil {
+		return err
+	}
+	res.Rounds = rep.Rounds
+	res.CommRounds = rep.Snapshot.CommunicationRounds
+	res.Messages = rep.Snapshot.Messages
+	res.Bytes = rep.Snapshot.Bytes
+	res.SignedMessages = countSigned(rep.Snapshot)
+	res.Discovered = len(rep.Discoveries) > 0
+	res.Agreed = outcomesAgree(rep.Outcomes)
+	return nil
+}
+
+// outcomesAgree reports whether every outcome decided on one identical
+// value. Outcomes belong to correct nodes only (overridden processes
+// report none).
+func outcomesAgree(outcomes []model.Outcome) bool {
+	if len(outcomes) == 0 {
+		return false
+	}
+	var first []byte
+	for i, o := range outcomes {
+		if !o.Decided {
+			return false
+		}
+		if i == 0 {
+			first = o.Value
+			continue
+		}
+		if !bytes.Equal(o.Value, first) {
+			return false
+		}
+	}
+	return true
+}
+
+// faultyNodes returns the adversary mix's fault placement.
+func faultyNodes(adversary string) model.NodeSet {
+	switch adversary {
+	case AdvCrashSender, AdvEquivocate:
+		return model.NewNodeSet(0)
+	case AdvCrashRelay:
+		return model.NewNodeSet(1)
+	}
+	return model.NewNodeSet()
+}
+
+// runVectorInstance runs the all-senders vector composition: one honest
+// key distribution (the paper's once-amortized setup phase), then the
+// vector round with the adversary mix applied.
+func runVectorInstance(inst Instance, res *Result) error {
+	cfg := model.Config{N: inst.N, T: inst.T}
+	scheme, err := sig.ByName(inst.Scheme)
+	if err != nil {
+		return err
+	}
+	kdNodes := make([]*keydist.Node, inst.N)
+	kdProcs := make([]sim.Process, inst.N)
+	for i := 0; i < inst.N; i++ {
+		node, err := keydist.NewNode(cfg, model.NodeID(i), scheme, sim.SeededReader(sim.NodeSeed(inst.Seed, i)))
+		if err != nil {
+			return err
+		}
+		kdNodes[i] = node
+		kdProcs[i] = node
+	}
+	if _, err := sim.RunInstance(cfg, kdProcs, keydist.RoundsTotal); err != nil {
+		return err
+	}
+
+	faulty := faultyNodes(inst.Adversary)
+	procs := make([]sim.Process, inst.N)
+	nodes := make([]*fd.VectorNode, inst.N)
+	for i := 0; i < inst.N; i++ {
+		id := model.NodeID(i)
+		if faulty.Contains(id) {
+			procs[i] = sim.Silent{}
+			continue
+		}
+		node, err := fd.NewVectorNode(cfg, id, kdNodes[i].Signer(), kdNodes[i].Directory(),
+			[]byte(fmt.Sprintf("proposal-%d", i)))
+		if err != nil {
+			return err
+		}
+		nodes[i] = node
+		procs[i] = node
+	}
+	counters := metrics.NewCounters()
+	simRes, err := sim.RunInstance(cfg, procs, fd.ChainEngineRounds(inst.T), sim.WithCounters(counters))
+	if err != nil {
+		return err
+	}
+	snap := counters.Snapshot()
+	res.Rounds = simRes.Rounds
+	res.CommRounds = snap.CommunicationRounds
+	res.Messages = snap.Messages
+	res.Bytes = snap.Bytes
+	res.SignedMessages = countSigned(snap)
+
+	// Agreement: every instance with a correct sender must be decided
+	// identically by every correct node; any discovery anywhere is
+	// recorded.
+	agreed := true
+	for s := 0; s < inst.N; s++ {
+		sid := model.NodeID(s)
+		var first []byte
+		haveFirst := false
+		for _, node := range nodes {
+			if node == nil {
+				continue
+			}
+			out := node.Outcome(sid)
+			if out.Discovery != nil {
+				res.Discovered = true
+			}
+			if faulty.Contains(sid) {
+				continue // no agreement obligation for a faulty sender
+			}
+			if !out.Decided {
+				agreed = false
+				continue
+			}
+			if !haveFirst {
+				first, haveFirst = out.Value, true
+			} else if !bytes.Equal(out.Value, first) {
+				agreed = false
+			}
+		}
+	}
+	res.Agreed = agreed
+	return nil
+}
+
+// equivocateOral is the adversary filter for the eig equivocate mix: in
+// round 1 the faulty sender reports campaignValue to the lower half of
+// the nodes and campaignAltValue to the rest.
+func equivocateOral(n int) adversary.Filter {
+	split := model.NodeID(n / 2)
+	alt := ba.MarshalOralEntries([]ba.OralEntry{{Path: []model.NodeID{ba.Sender}, Value: campaignAltValue}})
+	return func(round int, out []model.Message) []model.Message {
+		if round != 1 {
+			return out
+		}
+		for i := range out {
+			if out[i].Kind == model.KindOral && out[i].To >= split {
+				out[i].Payload = alt
+			}
+		}
+		return out
+	}
+}
+
+// runEIGInstance runs the OM(t) baseline.
+func runEIGInstance(inst Instance, res *Result) error {
+	cfg := model.Config{N: inst.N, T: inst.T}
+	faulty := faultyNodes(inst.Adversary)
+	procs := make([]sim.Process, inst.N)
+	nodes := make([]*ba.EIGNode, inst.N)
+	for i := 0; i < inst.N; i++ {
+		id := model.NodeID(i)
+		if faulty.Contains(id) && inst.Adversary != AdvEquivocate {
+			procs[i] = sim.Silent{}
+			continue
+		}
+		var opts []ba.EIGOption
+		if id == ba.Sender {
+			opts = append(opts, ba.WithEIGValue(campaignValue))
+		}
+		node, err := ba.NewEIGNode(cfg, id, opts...)
+		if err != nil {
+			return err
+		}
+		if id == ba.Sender && inst.Adversary == AdvEquivocate {
+			procs[i] = adversary.Wrap(node, equivocateOral(inst.N))
+			continue // the two-faced sender's own decision does not count
+		}
+		nodes[i] = node
+		procs[i] = node
+	}
+	counters := metrics.NewCounters()
+	simRes, err := sim.RunInstance(cfg, procs, ba.EIGEngineRounds(inst.T), sim.WithCounters(counters))
+	if err != nil {
+		return err
+	}
+	snap := counters.Snapshot()
+	res.Rounds = simRes.Rounds
+	res.CommRounds = snap.CommunicationRounds
+	res.Messages = snap.Messages
+	res.Bytes = snap.Bytes
+	res.SignedMessages = countSigned(snap)
+
+	agreed := true
+	var first []byte
+	haveFirst := false
+	for _, node := range nodes {
+		if node == nil {
+			continue
+		}
+		d := node.Decision()
+		if d.Value == nil {
+			agreed = false
+			continue
+		}
+		if !haveFirst {
+			first, haveFirst = d.Value, true
+		} else if !bytes.Equal(d.Value, first) {
+			agreed = false
+		}
+	}
+	res.Agreed = agreed && haveFirst
+	return nil
+}

@@ -1,0 +1,182 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// ReportSchema identifies the report JSON layout for downstream tooling.
+const ReportSchema = "fdcampaign/v1"
+
+// GroupSummary aggregates all seeded repetitions of one configuration.
+type GroupSummary struct {
+	Key       string `json:"key"`
+	Protocol  string `json:"protocol"`
+	N         int    `json:"n"`
+	T         int    `json:"t"`
+	Scheme    string `json:"scheme,omitempty"`
+	Adversary string `json:"adversary"`
+	// Instances is the number of runs in the group; Errors of them
+	// failed to run and contribute to no other field.
+	Instances int `json:"instances"`
+	Errors    int `json:"errors"`
+	// AgreeRate and DiscoveryRate are fractions of the non-error runs.
+	AgreeRate     float64 `json:"agree_rate"`
+	DiscoveryRate float64 `json:"discovery_rate"`
+	// Distributions over the non-error runs.
+	Rounds         metrics.Dist `json:"rounds"`
+	CommRounds     metrics.Dist `json:"comm_rounds"`
+	Messages       metrics.Dist `json:"messages"`
+	Bytes          metrics.Dist `json:"bytes"`
+	SignedMessages metrics.Dist `json:"signed_messages"`
+}
+
+// Report is a completed campaign: the spec, every per-instance result in
+// expansion order, and the per-group aggregates. It deliberately records
+// nothing about HOW the campaign ran (worker count, timing, host), so
+// marshaling it is byte-identical for any worker count — the determinism
+// contract, enforced by TestReportWorkerCountInvariance.
+type Report struct {
+	Schema    string         `json:"schema"`
+	Name      string         `json:"name"`
+	Spec      Spec           `json:"spec"`
+	Instances int            `json:"instances"`
+	Groups    []GroupSummary `json:"groups"`
+	Results   []Result       `json:"results"`
+}
+
+// CanonicalJSON is the canonical report serialization (indented,
+// trailing newline): cmd/fdcampaign emits it and the differential tests
+// compare it, so there is exactly one byte representation per report.
+func (r *Report) CanonicalJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Run expands the spec and executes every instance on a sharded worker
+// pool: workers goroutines, worker w owning the instances with
+// Index ≡ w (mod workers). Sharding balances the load (expansion order
+// interleaves cheap and expensive configurations) without a shared work
+// queue, and since every result lands in its instance's slot, the
+// aggregate is identical no matter how the shards raced. workers < 1
+// means one worker per CPU.
+func Run(spec Spec, workers int) (*Report, error) {
+	instances, err := Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(instances) {
+		workers = len(instances)
+	}
+	results := make([]Result, len(instances))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for i := shard; i < len(instances); i += workers {
+				results[i] = RunInstance(instances[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return assemble(spec.withDefaults(), instances, results), nil
+}
+
+// assemble streams the results, in instance order, through the metrics
+// aggregation layer and builds the report.
+func assemble(spec Spec, instances []Instance, results []Result) *Report {
+	sweep := metrics.NewSweep()
+	counts := make(map[string]*struct{ total, errors, agreed, discovered int })
+	for _, res := range results {
+		key := res.Group
+		if _, ok := counts[key]; !ok {
+			counts[key] = &struct{ total, errors, agreed, discovered int }{}
+		}
+		c := counts[key]
+		c.total++
+		if res.Err != "" {
+			c.errors++
+			continue
+		}
+		if res.Agreed {
+			c.agreed++
+		}
+		if res.Discovered {
+			c.discovered++
+		}
+		sweep.Observe(key, "rounds", float64(res.Rounds))
+		sweep.Observe(key, "comm_rounds", float64(res.CommRounds))
+		sweep.Observe(key, "messages", float64(res.Messages))
+		sweep.Observe(key, "bytes", float64(res.Bytes))
+		sweep.Observe(key, "signed_messages", float64(res.SignedMessages))
+	}
+
+	rep := &Report{
+		Schema:    ReportSchema,
+		Name:      spec.Name,
+		Spec:      spec,
+		Instances: len(results),
+		Results:   results,
+	}
+	// Group order: first appearance in instance order, which is the
+	// expansion order — deterministic.
+	seen := make(map[string]bool)
+	for _, inst := range instances {
+		key := inst.GroupKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		c := counts[key]
+		g := GroupSummary{
+			Key:            key,
+			Protocol:       inst.Protocol,
+			N:              inst.N,
+			T:              inst.T,
+			Scheme:         inst.Scheme,
+			Adversary:      inst.Adversary,
+			Instances:      c.total,
+			Errors:         c.errors,
+			Rounds:         sweep.Dist(key, "rounds"),
+			CommRounds:     sweep.Dist(key, "comm_rounds"),
+			Messages:       sweep.Dist(key, "messages"),
+			Bytes:          sweep.Dist(key, "bytes"),
+			SignedMessages: sweep.Dist(key, "signed_messages"),
+		}
+		if ok := c.total - c.errors; ok > 0 {
+			g.AgreeRate = float64(c.agreed) / float64(ok)
+			g.DiscoveryRate = float64(c.discovered) / float64(ok)
+		}
+		rep.Groups = append(rep.Groups, g)
+	}
+	return rep
+}
+
+// Table renders the per-group aggregates as a human table.
+func (r *Report) Table() *metrics.Table {
+	title := fmt.Sprintf("Campaign %q — %d instances, %d groups", r.Name, r.Instances, len(r.Groups))
+	tbl := metrics.NewTable(title,
+		"protocol", "n", "t", "scheme", "adversary", "runs", "errs",
+		"agree", "discover", "msgs mean", "msgs p99", "bytes mean", "rounds mean")
+	for _, g := range r.Groups {
+		scheme := g.Scheme
+		if scheme == "" {
+			scheme = "-"
+		}
+		tbl.AddRow(g.Protocol, g.N, g.T, scheme, g.Adversary, g.Instances, g.Errors,
+			g.AgreeRate, g.DiscoveryRate, g.Messages.Mean, g.Messages.P99,
+			g.Bytes.Mean, g.Rounds.Mean)
+	}
+	return tbl
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/adversary"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/fd"
 	"repro/internal/keydist"
@@ -67,50 +68,79 @@ func E1KeyDistribution(sizes []int) *metrics.Table {
 }
 
 // E2AuthenticatedFD measures the chain protocol (paper Fig. 2) against the
-// minimal n−1 messages.
+// minimal n−1 messages. It is one of the two tables ported onto the
+// campaign engine: the n-sweep is a declarative Spec, and the rows come
+// from the campaign's per-group aggregates (one seeded instance per
+// group, so the means are the exact run values).
 func E2AuthenticatedFD(sizes []int) *metrics.Table {
 	tbl := metrics.NewTable(
 		"E2 — Authenticated failure discovery (paper Fig. 2: n−1 messages)",
 		"n", "t", "messages", "paper n-1", "match", "comm rounds", "bytes")
-	for _, n := range sizes {
-		t := tolFor(n)
-		c := mustCluster(n, t, Seed+int64(2*n))
-		rep, err := c.RunFailureDiscovery([]byte("value"))
-		if err != nil {
-			panic(err)
-		}
-		tbl.AddRow(n, t, rep.Snapshot.Messages, n-1,
-			rep.Snapshot.Messages == n-1,
-			rep.Snapshot.CommunicationRounds, rep.Snapshot.Bytes)
+	rep, err := campaign.Run(campaign.Spec{
+		Name:      "e2-authenticated-fd",
+		Protocols: []string{campaign.ProtoChain},
+		Sizes:     sizes, // classical t = ⌊(n−1)/3⌋ per size
+		SeedBase:  Seed,
+		SeedCount: 1,
+	}, 0)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: e2 campaign: %v", err))
+	}
+	for _, g := range mustCleanGroups(rep) {
+		msgs := int(g.Messages.Mean)
+		tbl.AddRow(g.N, g.T, msgs, g.N-1, msgs == g.N-1,
+			int(g.CommRounds.Mean), int(g.Bytes.Mean))
 	}
 	return tbl
 }
 
-// E3NonAuthFD measures the non-authenticated baseline against (t+1)(n−1).
+// E3NonAuthFD measures the non-authenticated baseline against (t+1)(n−1),
+// ported onto the campaign engine with an explicit (n, t) case list.
 func E3NonAuthFD(sizes []int) *metrics.Table {
 	tbl := metrics.NewTable(
 		"E3 — Non-authenticated baseline (paper: O(n·t) messages)",
 		"n", "t", "messages", "(t+1)(n-1)", "match", "ratio vs authenticated")
+	var cases []campaign.Case
+	seen := make(map[campaign.Case]bool)
 	for _, n := range sizes {
 		for _, t := range []int{1, n / 8, tolFor(n)} {
-			if t < 1 || t >= n {
+			c := campaign.Case{N: n, T: t}
+			if t < 1 || t >= n || seen[c] {
 				continue
 			}
-			c, err := core.New(model.Config{N: n, T: t}, core.WithSeed(Seed+int64(3*n+t)))
-			if err != nil {
-				panic(err)
-			}
-			rep, err := c.RunFailureDiscovery([]byte("value"), core.WithProtocol(core.ProtocolNonAuth))
-			if err != nil {
-				panic(err)
-			}
-			want := fd.NonAuthMessages(n, t)
-			ratio := float64(rep.Snapshot.Messages) / float64(n-1)
-			tbl.AddRow(n, t, rep.Snapshot.Messages, want,
-				rep.Snapshot.Messages == want, ratio)
+			seen[c] = true
+			cases = append(cases, c)
 		}
 	}
+	rep, err := campaign.Run(campaign.Spec{
+		Name:      "e3-nonauth-fd",
+		Protocols: []string{campaign.ProtoNonAuth},
+		Cases:     cases,
+		SeedBase:  Seed,
+		SeedCount: 1,
+	}, 0)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: e3 campaign: %v", err))
+	}
+	for _, g := range mustCleanGroups(rep) {
+		msgs := int(g.Messages.Mean)
+		want := fd.NonAuthMessages(g.N, g.T)
+		tbl.AddRow(g.N, g.T, msgs, want, msgs == want,
+			float64(msgs)/float64(g.N-1))
+	}
 	return tbl
+}
+
+// mustCleanGroups returns the report's groups after asserting no
+// instance errored (experiments are deterministic; an error is a
+// programming mistake, not a measurement).
+func mustCleanGroups(rep *campaign.Report) []campaign.GroupSummary {
+	for _, g := range rep.Groups {
+		if g.Errors > 0 {
+			panic(fmt.Sprintf("experiments: campaign group %s had %d errors", g.Key, g.Errors))
+		}
+	}
+	return rep.Groups
 }
 
 // E4Amortization reproduces the paper's headline: one 3n(n−1) key

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Aggregation layer for scenario sweeps: many independent instances of
+// the same configuration produce per-run samples (message counts, bytes,
+// rounds, ...) that campaigns summarize as distributions. Everything
+// here is deterministic — given the same samples in the same order, the
+// output is byte-identical — because the campaign engine's contract is
+// that aggregate output does not depend on how many workers produced it.
+
+// Dist summarizes one sample set. Percentiles use the nearest-rank
+// method on the sorted samples (p50 of [1,2,3,4] is 2, not 2.5), which
+// keeps every field an exact function of the inputs — no interpolation,
+// no float drift between platforms beyond IEEE-754 arithmetic itself.
+type Dist struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// String renders the distribution compactly for table cells.
+func (d Dist) String() string {
+	if d.Count == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("min=%s mean=%s p50=%s p99=%s",
+		trimFloat(d.Min), trimFloat(d.Mean), trimFloat(d.P50), trimFloat(d.P99))
+}
+
+// Series accumulates float64 samples for one metric.
+type Series struct {
+	vals []float64
+}
+
+// Add appends one sample.
+func (s *Series) Add(v float64) { s.vals = append(s.vals, v) }
+
+// AddInt appends one integer sample.
+func (s *Series) AddInt(v int) { s.vals = append(s.vals, float64(v)) }
+
+// Count returns the number of samples.
+func (s *Series) Count() int { return len(s.vals) }
+
+// Dist computes the summary. The receiver's sample order is preserved
+// (Dist sorts a copy), so interleaving Dist calls with Add is safe.
+func (s *Series) Dist() Dist {
+	n := len(s.vals)
+	if n == 0 {
+		return Dist{}
+	}
+	sorted := append([]float64(nil), s.vals...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return Dist{
+		Count: n,
+		Min:   sorted[0],
+		Max:   sorted[n-1],
+		Mean:  sum / float64(n),
+		P50:   percentile(sorted, 50),
+		P99:   percentile(sorted, 99),
+	}
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted samples.
+func percentile(sorted []float64, p int) float64 {
+	rank := int(math.Ceil(float64(p) / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Sweep groups named sample series under string keys, remembering first-
+// appearance order of both groups and metrics so reports render (and
+// marshal) identically run after run. It is not safe for concurrent use:
+// the campaign runner feeds it sequentially, in instance order, exactly
+// so that worker scheduling cannot perturb the aggregate.
+type Sweep struct {
+	groupOrder []string
+	groups     map[string]*sweepGroup
+}
+
+type sweepGroup struct {
+	metricOrder []string
+	metrics     map[string]*Series
+}
+
+// NewSweep returns an empty sweep aggregator.
+func NewSweep() *Sweep {
+	return &Sweep{groups: make(map[string]*sweepGroup)}
+}
+
+// Observe adds one sample for metric under group.
+func (s *Sweep) Observe(group, metric string, v float64) {
+	g, ok := s.groups[group]
+	if !ok {
+		g = &sweepGroup{metrics: make(map[string]*Series)}
+		s.groups[group] = g
+		s.groupOrder = append(s.groupOrder, group)
+	}
+	ser, ok := g.metrics[metric]
+	if !ok {
+		ser = &Series{}
+		g.metrics[metric] = ser
+		g.metricOrder = append(g.metricOrder, metric)
+	}
+	ser.Add(v)
+}
+
+// Groups returns the group keys in first-appearance order.
+func (s *Sweep) Groups() []string {
+	return append([]string(nil), s.groupOrder...)
+}
+
+// Metrics returns group's metric names in first-appearance order.
+func (s *Sweep) Metrics(group string) []string {
+	g, ok := s.groups[group]
+	if !ok {
+		return nil
+	}
+	return append([]string(nil), g.metricOrder...)
+}
+
+// Dist summarizes one metric of one group. Unknown keys yield a zero
+// Dist, distinguishable by Count == 0.
+func (s *Sweep) Dist(group, metric string) Dist {
+	g, ok := s.groups[group]
+	if !ok {
+		return Dist{}
+	}
+	ser, ok := g.metrics[metric]
+	if !ok {
+		return Dist{}
+	}
+	return ser.Dist()
+}

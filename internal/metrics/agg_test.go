@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDistSmallSets(t *testing.T) {
+	var s Series
+	for _, v := range []int{4, 1, 3, 2} {
+		s.AddInt(v)
+	}
+	d := s.Dist()
+	want := Dist{Count: 4, Min: 1, Max: 4, Mean: 2.5, P50: 2, P99: 4}
+	if d != want {
+		t.Errorf("Dist = %+v, want %+v", d, want)
+	}
+}
+
+func TestDistSingleAndEmpty(t *testing.T) {
+	var s Series
+	if d := s.Dist(); d.Count != 0 {
+		t.Errorf("empty Dist = %+v", d)
+	}
+	s.Add(7)
+	d := s.Dist()
+	if d.Count != 1 || d.Min != 7 || d.Max != 7 || d.Mean != 7 || d.P50 != 7 || d.P99 != 7 {
+		t.Errorf("singleton Dist = %+v", d)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	// 100 samples 1..100: p50 is the 50th, p99 the 99th.
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.AddInt(i)
+	}
+	d := s.Dist()
+	if d.P50 != 50 || d.P99 != 99 {
+		t.Errorf("p50=%v p99=%v, want 50/99", d.P50, d.P99)
+	}
+}
+
+func TestDistDoesNotDisturbSeries(t *testing.T) {
+	var s Series
+	s.Add(3)
+	s.Add(1)
+	_ = s.Dist()
+	s.Add(2)
+	if got := s.Dist(); got.Count != 3 || got.P50 != 2 {
+		t.Errorf("interleaved Add/Dist broke the series: %+v", got)
+	}
+}
+
+func TestSweepOrdering(t *testing.T) {
+	sw := NewSweep()
+	sw.Observe("b", "msgs", 10)
+	sw.Observe("a", "msgs", 20)
+	sw.Observe("b", "bytes", 5)
+	sw.Observe("b", "msgs", 30)
+
+	if got := sw.Groups(); !reflect.DeepEqual(got, []string{"b", "a"}) {
+		t.Errorf("Groups = %v, want first-appearance order [b a]", got)
+	}
+	if got := sw.Metrics("b"); !reflect.DeepEqual(got, []string{"msgs", "bytes"}) {
+		t.Errorf("Metrics(b) = %v", got)
+	}
+	d := sw.Dist("b", "msgs")
+	if d.Count != 2 || d.Mean != 20 {
+		t.Errorf("Dist(b,msgs) = %+v", d)
+	}
+	if d := sw.Dist("missing", "msgs"); d.Count != 0 {
+		t.Errorf("unknown group Dist = %+v", d)
+	}
+}

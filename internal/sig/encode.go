@@ -173,6 +173,15 @@ type Decoder struct {
 // NewDecoder wraps data for decoding. The decoder does not copy data.
 func NewDecoder(data []byte) *Decoder { return &Decoder{buf: data} }
 
+// Reset rewinds the decoder onto data, clearing any error. Two-pass
+// decoders (size, then fill) use it to re-read a payload without a
+// second Decoder allocation.
+func (d *Decoder) Reset(data []byte) {
+	d.buf = data
+	d.off = 0
+	d.err = nil
+}
+
 // Err returns the first error encountered, if any.
 func (d *Decoder) Err() error { return d.err }
 

@@ -32,7 +32,10 @@ type Process interface {
 	// only sets To, Kind, and Payload. Callers must consume the returned
 	// slice before the next Step call: processes may reuse its backing
 	// array across rounds (the engine and the transport runner both copy
-	// or send the messages immediately).
+	// or send the messages immediately). Symmetrically, the engine may
+	// reuse received's backing array after Step returns, so a process must
+	// not retain the slice itself across rounds; the Payload bytes are
+	// never modified and are safe to alias.
 	Step(round int, received []model.Message) []model.Message
 }
 
@@ -137,15 +140,24 @@ func (e *Engine) Run(maxRounds int) *Result {
 	if maxRounds < 1 {
 		maxRounds = 1
 	}
-	inFlight := make(map[model.NodeID][]model.Message)
+	// Per-node inboxes, double-buffered: inFlight holds this round's
+	// deliveries, next collects the sends. Both keep their backing arrays
+	// across rounds (truncate, don't reallocate), which is what keeps a
+	// long run allocation-flat; delivery order is unchanged (appends happen
+	// in the same order the map version produced, and every inbox is sorted
+	// before delivery anyway), so seeded runs are byte-identical.
+	inFlight := make([][]model.Message, e.cfg.N)
+	next := make([][]model.Message, e.cfg.N)
 	rounds := 0
 	for round := 1; round <= maxRounds; round++ {
 		rounds = round
-		next := make(map[model.NodeID][]model.Message)
+		for i := range next {
+			next[i] = next[i][:0]
+		}
 		sentAny := false
 		for i, p := range e.procs {
 			id := model.NodeID(i)
-			inbox := inFlight[id]
+			inbox := inFlight[i]
 			SortMessages(inbox)
 			e.views[i].Append(inbox)
 			for _, m := range inbox {
@@ -168,12 +180,26 @@ func (e *Engine) Run(maxRounds int) *Result {
 				next[m.To] = append(next[m.To], m)
 			}
 		}
-		inFlight = next
+		inFlight, next = next, inFlight
 		if !sentAny && e.allFinished() {
 			break
 		}
 	}
 	return &Result{Rounds: rounds, Counters: e.count, Views: e.views}
+}
+
+// RunInstance is the one-shot entry point for an isolated simulation
+// instance: it builds an engine over procs and runs it for maxRounds.
+// Nothing in the engine or its result is shared with any other instance
+// (callers supply per-instance processes, counters, and entropy), so
+// independent RunInstance calls may execute concurrently — the campaign
+// engine's worker shards rely on exactly that.
+func RunInstance(cfg model.Config, procs []Process, maxRounds int, opts ...Option) (*Result, error) {
+	e, err := New(cfg, procs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(maxRounds), nil
 }
 
 // allFinished reports whether every Finisher process is done. Processes
