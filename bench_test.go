@@ -327,3 +327,25 @@ func BenchmarkEIG(b *testing.B) {
 func BenchmarkFDRun(b *testing.B) {
 	b.Run("n=16_t=5", perfbench.FDRun(16, 5))
 }
+
+// BenchmarkKeydistHandshake measures the full local-authentication setup
+// (n key generations + the 3n(n−1)-message handshake) that
+// Cluster.Reset and the campaign setup cache amortize away.
+func BenchmarkKeydistHandshake(b *testing.B) {
+	b.Run("n=16_t=5", perfbench.KeydistHandshake(16, 5))
+}
+
+// BenchmarkKeydistRoundTrip measures the per-peer challenge→respond→
+// verify unit on the zero-alloc codec path.
+func BenchmarkKeydistRoundTrip(b *testing.B) {
+	b.Run("ed25519", perfbench.HandshakeRoundTrip(sig.SchemeEd25519))
+	b.Run("toy", perfbench.HandshakeRoundTrip(sig.SchemeToy))
+}
+
+// BenchmarkCampaignChainSweep measures the many-runs-one-setup workload:
+// a 100-seed chain sweep at one (scheme, n, t) cell, with per-instance
+// setup (cold) vs the per-worker setup cache (warm).
+func BenchmarkCampaignChainSweep(b *testing.B) {
+	b.Run("cold/n=8_t=2_seeds=100", perfbench.CampaignChainSweep(8, 2, 100, false))
+	b.Run("warm/n=8_t=2_seeds=100", perfbench.CampaignChainSweep(8, 2, 100, true))
+}

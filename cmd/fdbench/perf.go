@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/perfbench"
+	"repro/internal/sig"
 )
 
 // The perf suite: the repository's headline hot-path benchmarks
@@ -46,7 +47,10 @@ type namedBench struct {
 
 // perfSuite lists the headline hot paths: chain-signature verification
 // (cold and memoized), chain extension, a full EIG agreement at n=16,
-// and authenticated failure-discovery runs with fresh values at n=16.
+// authenticated failure-discovery runs with fresh values at n=16, the
+// keydist handshake (the setup cost that Reset and the campaign cache
+// amortize, plus its per-peer round-trip unit), and a 100-seed campaign
+// chain sweep with cold (per-instance) vs warm (cached) setup.
 func perfSuite() []namedBench {
 	return []namedBench{
 		{"chain_verify_cold/hops=16", perfbench.ChainVerify(16, true)},
@@ -54,6 +58,10 @@ func perfSuite() []namedBench {
 		{"chain_extend/hops=16", perfbench.ChainExtend(16)},
 		{"eig/n=16_t=3", perfbench.EIG(16, 3)},
 		{"fd_chain_run/n=16_t=5", perfbench.FDRun(16, 5)},
+		{"keydist_handshake/n=16_t=5", perfbench.KeydistHandshake(16, 5)},
+		{"keydist_roundtrip/ed25519", perfbench.HandshakeRoundTrip(sig.SchemeEd25519)},
+		{"campaign_chain_sweep_cold/n=8_t=2_seeds=100", perfbench.CampaignChainSweep(8, 2, 100, false)},
+		{"campaign_chain_sweep_warm/n=8_t=2_seeds=100", perfbench.CampaignChainSweep(8, 2, 100, true)},
 	}
 }
 

@@ -13,6 +13,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -61,4 +62,50 @@ func main() {
 	f := core.AmortizationFor(n, tol, runs)
 	fmt.Printf("\nformula says crossover at k* = %d runs; every run after that saves %d messages\n",
 		f.CrossoverRun, (tol+1)*(n-1)-(n-1))
+
+	// The same economics in wall-clock terms: Cluster.Reset is the
+	// canonical many-runs-one-setup idiom. One cluster pays key
+	// generation and the 3n(n−1)-message handshake once; every later
+	// batch of runs just Resets onto a fresh seed — no re-keying, no
+	// handshake, a clean ledger. Compare rebuilding from scratch per
+	// batch (what a naive harness does) against Reset reuse.
+	const batches, runsPerBatch = 5, 10
+	rebuildStart := time.Now()
+	for b := 0; b < batches; b++ {
+		c, err := core.New(model.Config{N: n, T: tol}, core.WithSeed(int64(b)), core.WithKeySeed(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := c.EstablishAuthentication(); err != nil {
+			log.Fatal(err)
+		}
+		for k := 0; k < runsPerBatch; k++ {
+			if _, err := c.RunFailureDiscovery([]byte("batch decision")); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	rebuild := time.Since(rebuildStart)
+
+	reuseStart := time.Now()
+	c, err := core.New(model.Config{N: n, T: tol}, core.WithSeed(0), core.WithKeySeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.EstablishAuthentication(); err != nil {
+		log.Fatal(err)
+	}
+	for b := 0; b < batches; b++ {
+		c.Reset(int64(b)) // fresh seed + clean ledger, keys and handshake kept
+		for k := 0; k < runsPerBatch; k++ {
+			if _, err := c.RunFailureDiscovery([]byte("batch decision")); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	reuse := time.Since(reuseStart)
+
+	fmt.Printf("\n%d batches × %d runs, n=%d: rebuild-per-batch %v, Cluster.Reset reuse %v (%.1fx)\n",
+		batches, runsPerBatch, n, rebuild.Round(time.Millisecond), reuse.Round(time.Millisecond),
+		float64(rebuild)/float64(reuse))
 }

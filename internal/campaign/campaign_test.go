@@ -285,3 +285,134 @@ func TestReportJSONRoundTrips(t *testing.T) {
 		t.Errorf("table missing protocol column:\n%s", tbl)
 	}
 }
+
+// TestReportSetupCacheInvariance is the amortization determinism
+// contract: a sweep that reuses cached key material and established
+// clusters must emit a report byte-identical to one that regenerates all
+// setup per instance — across every cluster-backed protocol, both
+// deterministic signature schemes, and every adversary mix. It runs the
+// cached side at two worker counts so cache population order (which
+// depends on sharding) is also shown not to matter.
+func TestReportSetupCacheInvariance(t *testing.T) {
+	spec := Spec{
+		Name:        "setup-cache-differential",
+		Protocols:   []string{ProtoChain, ProtoSmallRange, ProtoVector},
+		Sizes:       []int{4, 6},
+		Schemes:     []string{sig.SchemeToy, sig.SchemeEd25519},
+		Adversaries: []string{AdvNone, AdvCrashRelay, AdvEquivocate},
+		SeedBase:    11,
+		SeedCount:   4,
+	}
+	fresh, err := Run(spec, 2, WithoutSetupCache())
+	if err != nil {
+		t.Fatalf("Run(uncached): %v", err)
+	}
+	jFresh, err := fresh.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON: %v", err)
+	}
+	for _, workers := range []int{1, 3} {
+		cached, err := Run(spec, workers)
+		if err != nil {
+			t.Fatalf("Run(cached, workers=%d): %v", workers, err)
+		}
+		jCached, err := cached.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("CanonicalJSON: %v", err)
+		}
+		if !bytes.Equal(jFresh, jCached) {
+			t.Fatalf("cached (workers=%d) and uncached reports differ; setup reuse changed what the campaign measured", workers)
+		}
+	}
+	for _, g := range fresh.Groups {
+		if g.Errors != 0 {
+			t.Errorf("group %s: %d errored instances", g.Key, g.Errors)
+		}
+	}
+}
+
+// TestReportSetupCacheInvarianceUnderEviction forces the per-worker cache
+// down to one entry, so every cell change evicts and rebuilds: the report
+// must still match the fully cached one.
+func TestReportSetupCacheInvarianceUnderEviction(t *testing.T) {
+	spec := Spec{
+		Name:      "eviction-differential",
+		Protocols: []string{ProtoChain, ProtoVector},
+		Sizes:     []int{4, 5},
+		Schemes:   []string{sig.SchemeToy},
+		SeedBase:  23,
+		SeedCount: 3,
+	}
+	roomy, err := Run(spec, 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	tight, err := Run(spec, 1, WithSetupCacheCap(1))
+	if err != nil {
+		t.Fatalf("Run(cap=1): %v", err)
+	}
+	jRoomy, _ := roomy.CanonicalJSON()
+	jTight, _ := tight.CanonicalJSON()
+	if !bytes.Equal(jRoomy, jTight) {
+		t.Fatal("cache eviction changed the report")
+	}
+}
+
+// TestSetupCacheBounded pins the eviction mechanics directly.
+func TestSetupCacheBounded(t *testing.T) {
+	sc := newSetupCache(2)
+	mk := func(n int) setupKey { return setupKey{kind: setupCluster, scheme: "toy", n: n, t: 1, keySeed: 1} }
+	sc.put(mk(4), 4)
+	sc.put(mk(5), 5)
+	sc.put(mk(6), 6) // evicts n=4
+	if len(sc.entries) != 2 {
+		t.Fatalf("cache holds %d entries, cap is 2", len(sc.entries))
+	}
+	if _, ok := sc.entries[mk(4)]; ok {
+		t.Error("oldest entry was not evicted")
+	}
+	for _, n := range []int{5, 6} {
+		if _, ok := sc.entries[mk(n)]; !ok {
+			t.Errorf("entry n=%d missing after eviction", n)
+		}
+	}
+	// Re-putting an existing key replaces in place: no duplicate in the
+	// eviction order, and the NEXT eviction still removes the true oldest.
+	sc.put(mk(5), 55)
+	if got := sc.entries[mk(5)]; got != 55 {
+		t.Errorf("re-put did not replace value: %v", got)
+	}
+	if len(sc.order) != 2 {
+		t.Fatalf("re-put duplicated the eviction order: %v", sc.order)
+	}
+	sc.put(mk(7), 7) // must evict n=5 (oldest), keep n=6 and n=7
+	if _, ok := sc.entries[mk(5)]; ok {
+		t.Error("eviction after re-put removed the wrong entry")
+	}
+	if _, ok := sc.entries[mk(6)]; !ok {
+		t.Error("live entry n=6 was evicted")
+	}
+}
+
+// TestInstanceKeySeedPinsKeyMaterial runs the same instance under two run
+// seeds and checks the traffic profile is identical (keys shared), then
+// under two key seeds and checks both still succeed — the fresh-keys
+// escape hatch.
+func TestInstanceKeySeedPinsKeyMaterial(t *testing.T) {
+	base := Instance{Protocol: ProtoChain, N: 5, T: 1, Scheme: sig.SchemeToy, Adversary: AdvNone, Seed: 1, KeySeed: 9}
+	other := base
+	other.Seed = 2
+	a, b := RunInstance(base), RunInstance(other)
+	if a.Err != "" || b.Err != "" {
+		t.Fatalf("instance errors: %q / %q", a.Err, b.Err)
+	}
+	if a.Messages != b.Messages || a.Bytes != b.Bytes || !a.Agreed || !b.Agreed {
+		t.Errorf("run seed changed the traffic profile: %+v vs %+v", a, b)
+	}
+	rekeyed := base
+	rekeyed.KeySeed = 10
+	c := RunInstance(rekeyed)
+	if c.Err != "" || !c.Agreed {
+		t.Errorf("rekeyed instance failed: %+v", c)
+	}
+}

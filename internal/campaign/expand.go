@@ -26,8 +26,17 @@ type Instance struct {
 	Scheme string `json:"scheme,omitempty"`
 	// Adversary is one of the Adv* names.
 	Adversary string `json:"adversary"`
-	// Seed drives every random choice inside the instance.
+	// Seed drives every per-run random choice inside the instance
+	// (handshake nonces).
 	Seed int64 `json:"seed"`
+	// KeySeed pins the instance's key material independently of Seed: all
+	// keys derive from (Scheme, N, KeySeed) alone, through the key-domain
+	// streams of sim.KeyMaterialSeed. Expansion sets it to the spec's
+	// SeedBase for every instance, so a seed sweep over one configuration
+	// shares key material — the paper's pay-for-authentication-once
+	// economics — and the per-worker setup cache can reuse one established
+	// cluster for the whole sweep without changing a single report byte.
+	KeySeed int64 `json:"key_seed"`
 }
 
 // GroupKey identifies the instance's aggregation group: everything but
@@ -150,6 +159,7 @@ func Expand(spec Spec) ([]Instance, error) {
 							Scheme:    scheme,
 							Adversary: adv,
 							Seed:      spec.SeedBase + int64(s),
+							KeySeed:   spec.SeedBase,
 						})
 					}
 				}

@@ -11,7 +11,6 @@ import (
 	"repro/internal/keydist"
 	"repro/internal/metrics"
 	"repro/internal/model"
-	"repro/internal/sig"
 	"repro/internal/sim"
 )
 
@@ -81,14 +80,24 @@ var campaignAltValue = []byte("forged")
 // instance alone, so any number of RunInstance calls may execute
 // concurrently. Errors are reported in Result.Err rather than aborting —
 // one misconfigured combination must not kill a thousand-instance sweep.
-func RunInstance(inst Instance) Result {
+//
+// RunInstance always performs fresh setup (keygen + handshake); the
+// worker loop in Run passes a per-worker setup cache through runInstance
+// instead. Both paths derive identical wire bytes, because key material
+// is a pure function of (Scheme, N, KeySeed) either way — the
+// cached-vs-fresh differential test pins that equivalence.
+func RunInstance(inst Instance) Result { return runInstance(inst, nil) }
+
+// runInstance dispatches one instance, reusing cached setup when cache
+// is non-nil.
+func runInstance(inst Instance, cache *setupCache) Result {
 	res := Result{Index: inst.Index, Group: inst.GroupKey(), Seed: inst.Seed}
 	var err error
 	switch inst.Protocol {
 	case ProtoChain, ProtoNonAuth, ProtoSmallRange:
-		err = runClusterInstance(inst, &res)
+		err = runClusterInstance(inst, &res, cache)
 	case ProtoVector:
-		err = runVectorInstance(inst, &res)
+		err = runVectorInstance(inst, &res, cache)
 	case ProtoEIG:
 		err = runEIGInstance(inst, &res)
 	default:
@@ -102,15 +111,7 @@ func RunInstance(inst Instance) Result {
 
 // runClusterInstance runs the core.Cluster-backed protocols (chain,
 // nonauth, smallrange).
-func runClusterInstance(inst Instance, res *Result) error {
-	opts := []core.Option{core.WithSeed(inst.Seed)}
-	if inst.Scheme != "" {
-		opts = append(opts, core.WithScheme(inst.Scheme))
-	}
-	c, err := core.New(model.Config{N: inst.N, T: inst.T}, opts...)
-	if err != nil {
-		return err
-	}
+func runClusterInstance(inst Instance, res *Result, cache *setupCache) error {
 	var protocol core.Protocol
 	value := campaignValue
 	switch inst.Protocol {
@@ -122,8 +123,21 @@ func runClusterInstance(inst Instance, res *Result) error {
 		protocol = core.ProtocolSmallRange
 		value = []byte{1}
 	}
-	if protocol != core.ProtocolNonAuth {
-		if _, err := c.EstablishAuthentication(); err != nil {
+	// nonauth ignores keys entirely, so its setup is free and skips the
+	// cache; the authenticated protocols reuse an established cluster when
+	// their (scheme, n, t, keySeed) cell is cached, paying keygen and the
+	// 3n(n−1)-message handshake once per cell instead of once per seed.
+	var c *core.Cluster
+	var err error
+	if cache != nil && protocol != core.ProtocolNonAuth {
+		c, err = cache.cluster(inst)
+		if err != nil {
+			return err
+		}
+		c.Reset(inst.Seed)
+	} else {
+		c, err = establishedCluster(inst, protocol != core.ProtocolNonAuth)
+		if err != nil {
 			return err
 		}
 	}
@@ -196,25 +210,19 @@ func faultyNodes(adversary string) model.NodeSet {
 }
 
 // runVectorInstance runs the all-senders vector composition: one honest
-// key distribution (the paper's once-amortized setup phase), then the
-// vector round with the adversary mix applied.
-func runVectorInstance(inst Instance, res *Result) error {
+// key distribution (the paper's once-amortized setup phase — reused from
+// the worker's cache when the cell is warm), then the vector round with
+// the adversary mix applied.
+func runVectorInstance(inst Instance, res *Result, cache *setupCache) error {
 	cfg := model.Config{N: inst.N, T: inst.T}
-	scheme, err := sig.ByName(inst.Scheme)
+	var kdNodes []*keydist.Node
+	var err error
+	if cache != nil {
+		kdNodes, err = cache.vectorMaterial(inst)
+	} else {
+		kdNodes, err = newVectorMaterial(inst)
+	}
 	if err != nil {
-		return err
-	}
-	kdNodes := make([]*keydist.Node, inst.N)
-	kdProcs := make([]sim.Process, inst.N)
-	for i := 0; i < inst.N; i++ {
-		node, err := keydist.NewNode(cfg, model.NodeID(i), scheme, sim.SeededReader(sim.NodeSeed(inst.Seed, i)))
-		if err != nil {
-			return err
-		}
-		kdNodes[i] = node
-		kdProcs[i] = node
-	}
-	if _, err := sim.RunInstance(cfg, kdProcs, keydist.RoundsTotal); err != nil {
 		return err
 	}
 

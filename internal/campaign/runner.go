@@ -60,6 +60,31 @@ func (r *Report) CanonicalJSON() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
+// Option configures one Run call.
+type Option func(*runConfig)
+
+type runConfig struct {
+	setupCache bool
+	cacheCap   int
+}
+
+// WithoutSetupCache disables the per-worker amortized-setup cache,
+// forcing every instance to regenerate key material and redo the
+// key-distribution handshake from scratch. It exists as the differential
+// baseline: a cached and an uncached run of the same spec must produce
+// byte-identical reports (TestReportSetupCacheInvariance and the CI
+// campaign differential enforce it), so setup reuse can never silently
+// change what a campaign measures.
+func WithoutSetupCache() Option {
+	return func(c *runConfig) { c.setupCache = false }
+}
+
+// WithSetupCacheCap bounds each worker's setup cache to n entries
+// (default defaultSetupCacheCap). Mostly for tests that force eviction.
+func WithSetupCacheCap(n int) Option {
+	return func(c *runConfig) { c.cacheCap = n }
+}
+
 // Run expands the spec and executes every instance on a sharded worker
 // pool: workers goroutines, worker w owning the instances with
 // Index ≡ w (mod workers). Sharding balances the load (expansion order
@@ -67,7 +92,17 @@ func (r *Report) CanonicalJSON() ([]byte, error) {
 // queue, and since every result lands in its instance's slot, the
 // aggregate is identical no matter how the shards raced. workers < 1
 // means one worker per CPU.
-func Run(spec Spec, workers int) (*Report, error) {
+//
+// Each worker owns a bounded setup cache (see setupcache.go), so a seed
+// sweep pays key generation and the authentication handshake once per
+// (scheme, n, t) cell per worker instead of once per instance. The cache
+// cannot affect the report: key material is pinned by Instance.KeySeed
+// whether or not it is cached.
+func Run(spec Spec, workers int, opts ...Option) (*Report, error) {
+	cfg := runConfig{setupCache: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	instances, err := Expand(spec)
 	if err != nil {
 		return nil, err
@@ -84,8 +119,12 @@ func Run(spec Spec, workers int) (*Report, error) {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
+			var cache *setupCache
+			if cfg.setupCache {
+				cache = newSetupCache(cfg.cacheCap)
+			}
 			for i := shard; i < len(instances); i += workers {
-				results[i] = RunInstance(instances[i])
+				results[i] = runInstance(instances[i], cache)
 			}
 		}(w)
 	}

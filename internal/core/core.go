@@ -64,12 +64,32 @@ func (p Protocol) String() string {
 
 // Cluster owns n logical nodes, their keys and directories, and a message
 // ledger spanning all protocol phases.
+//
+// Entropy is split into two independent domains so key material and run
+// randomness can be reseeded separately: keyEntropy feeds key generation
+// only, runEntropy feeds everything per-run (handshake nonces). The split
+// is what makes Reset/Rekey and the campaign setup cache sound: a cluster
+// whose keys derive from key seed k behaves byte-identically in every
+// post-establishment run to a fresh cluster built with the same k,
+// regardless of which run seeds drew the nonces along the way.
 type Cluster struct {
 	cfg    model.Config
 	scheme sig.Scheme
-	// entropy returns the entropy source for node i; defaults to
-	// crypto/rand, overridden by WithSeed for reproducible runs.
-	entropy func(node int) io.Reader
+	// keyEntropy returns node i's key-generation entropy; defaults to
+	// crypto/rand, overridden by WithSeed/WithKeySeed for reproducible,
+	// cacheable key material.
+	keyEntropy func(node int) io.Reader
+	// runEntropy returns node i's per-run entropy (handshake nonces);
+	// defaults to crypto/rand, overridden by WithSeed and Reset.
+	runEntropy func(node int) io.Reader
+	// runDeterministic marks a WithSeed cluster; only such clusters
+	// reseed run entropy on Reset/Rekey (clusters without WithSeed keep
+	// drawing nonces from crypto/rand, even when their keys are pinned).
+	runDeterministic bool
+	// keyPinned marks that WithKeySeed (or Rekey) set the key domain
+	// explicitly, so WithSeed must not override it whatever order the
+	// options came in.
+	keyPinned bool
 
 	nodes []*keydist.Node
 	// established marks that EstablishAuthentication completed.
@@ -95,14 +115,49 @@ func WithScheme(name string) Option {
 }
 
 // WithSeed makes all key generation and nonces deterministic from the
-// given seed, for reproducible experiments. Production clusters should
-// not set it.
+// given seed, for reproducible experiments. Key material draws from the
+// seed's key domain (sim.KeyMaterialSeed) and per-run randomness from its
+// run domain (sim.NodeSeed), so the two can later be reseeded
+// independently via Reset and Rekey. Production clusters should not set
+// it.
 func WithSeed(seed int64) Option {
 	return func(c *Cluster) error {
-		c.entropy = func(node int) io.Reader {
-			return sim.SeededReader(sim.NodeSeed(seed, node))
+		c.runDeterministic = true
+		if !c.keyPinned {
+			c.keyEntropy = keyEntropyFor(seed)
 		}
+		c.runEntropy = runEntropyFor(seed)
 		return nil
+	}
+}
+
+// WithKeySeed pins the cluster's key material to its own seed,
+// independent of the run seed: two clusters sharing a key seed generate
+// identical keys even when WithSeed differs. This is the amortization
+// hook — the campaign engine gives every instance of a (scheme, n, t)
+// cell the same key seed, so one established cluster can be Reset and
+// reused for the whole seed sweep while staying byte-identical to
+// per-instance fresh setup. WithKeySeed wins over WithSeed's key domain
+// in either order.
+func WithKeySeed(keySeed int64) Option {
+	return func(c *Cluster) error {
+		c.keyPinned = true
+		c.keyEntropy = keyEntropyFor(keySeed)
+		return nil
+	}
+}
+
+// keyEntropyFor returns the per-node key-generation streams of a key seed.
+func keyEntropyFor(keySeed int64) func(node int) io.Reader {
+	return func(node int) io.Reader {
+		return sim.SeededReader(sim.KeyMaterialSeed(keySeed, node))
+	}
+}
+
+// runEntropyFor returns the per-node run-entropy streams of a run seed.
+func runEntropyFor(seed int64) func(node int) io.Reader {
+	return func(node int) io.Reader {
+		return sim.SeededReader(sim.NodeSeed(seed, node))
 	}
 }
 
@@ -112,9 +167,10 @@ func New(cfg model.Config, opts ...Option) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		cfg:     cfg,
-		entropy: func(int) io.Reader { return rand.Reader },
-		ledger:  NewLedger(),
+		cfg:        cfg,
+		keyEntropy: func(int) io.Reader { return rand.Reader },
+		runEntropy: func(int) io.Reader { return rand.Reader },
+		ledger:     NewLedger(),
 	}
 	defaultScheme, err := sig.ByName(sig.SchemeEd25519)
 	if err != nil {
@@ -140,6 +196,55 @@ func (c *Cluster) Ledger() *Ledger { return c.ledger }
 
 // Established reports whether local authentication has been set up.
 func (c *Cluster) Established() bool { return c.established }
+
+// Reset re-arms the cluster for a new deterministic run sequence under
+// seed without paying setup again: the ledger is cleared and the
+// run-entropy streams are reseeded, while key material, directories, and
+// the established flag all survive. This is the canonical
+// many-runs-one-setup idiom — the paper's amortization argument made
+// operational: pay EstablishAuthentication once, then Reset between run
+// batches instead of rebuilding the cluster.
+//
+// A Reset cluster is byte-equivalent to a fresh one only when its key
+// material is pinned independently of the run seed (WithKeySeed); the
+// campaign setup cache relies on exactly that. Clusters not created with
+// WithSeed keep drawing run entropy from crypto/rand — for them Reset
+// only clears the ledger, even when their keys are pinned. Runs that
+// need fresh keys use Rekey instead.
+//
+// The ledger is cleared in place: handles returned by Ledger() earlier
+// stay valid and observe the new run sequence.
+func (c *Cluster) Reset(seed int64) {
+	c.ledger.Reset()
+	if c.runDeterministic {
+		c.runEntropy = runEntropyFor(seed)
+	}
+}
+
+// Rekey is the explicit re-keying path: it discards the cluster's key
+// material, established state, and ledger (a new key epoch starts its
+// accounting from zero), and pins key generation to the given key seed —
+// exactly as constructing with WithKeySeed would, on any cluster — so
+// the next EstablishAuthentication regenerates everything. Use it when
+// runs must not share keys with earlier ones; Reset deliberately never
+// does this.
+//
+// On a WithSeed cluster the run entropy is reseeded onto the key seed
+// too, so the new epoch's handshake draws fresh nonces instead of
+// replaying the previous epoch's (the two seed domains stay
+// independent); follow with Reset to choose a different run seed.
+// Clusters without WithSeed keep drawing nonces from crypto/rand, before
+// and after Rekey.
+func (c *Cluster) Rekey(keySeed int64) {
+	c.nodes = nil
+	c.established = false
+	c.ledger.Reset()
+	if c.runDeterministic {
+		c.runEntropy = runEntropyFor(keySeed)
+	}
+	c.keyPinned = true
+	c.keyEntropy = keyEntropyFor(keySeed)
+}
 
 // Directory returns node id's accepted predicate directory. Only valid
 // after EstablishAuthentication.
@@ -196,7 +301,7 @@ func (c *Cluster) EstablishAuthentication(opts ...KeyDistOption) (Report, error)
 			procs[i] = p
 			continue
 		}
-		n, err := keydist.NewNode(c.cfg, id, c.scheme, c.entropy(i))
+		n, err := keydist.NewNode(c.cfg, id, c.scheme, c.runEntropy(i), keydist.WithKeyRand(c.keyEntropy(i)))
 		if err != nil {
 			return Report{}, fmt.Errorf("core: build keydist node %v: %w", id, err)
 		}

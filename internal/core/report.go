@@ -107,6 +107,14 @@ type Ledger struct {
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger { return &Ledger{} }
 
+// Reset clears the ledger in place, so handles previously returned by
+// Cluster.Ledger stay valid across Cluster.Reset/Rekey.
+func (l *Ledger) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reports = nil
+}
+
 // Add appends a phase report.
 func (l *Ledger) Add(r Report) {
 	l.mu.Lock()

@@ -1,0 +1,213 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sig"
+)
+
+// runTraffic runs one authenticated chain round and returns the protocol
+// report, normalized for comparison (snapshot + outcomes carry every
+// wire-visible quantity).
+func runTraffic(t *testing.T, c *core.Cluster, value []byte) core.Report {
+	t.Helper()
+	rep, err := c.RunFailureDiscovery(value)
+	if err != nil {
+		t.Fatalf("RunFailureDiscovery: %v", err)
+	}
+	return rep
+}
+
+// TestClusterResetReusesSetup is the core amortization contract: a
+// cluster with key material pinned by WithKeySeed, established once and
+// Reset onto a new seed, must produce failure-discovery runs identical
+// to a fresh cluster built at that seed with the same key seed — without
+// re-running key generation or the handshake.
+func TestClusterResetReusesSetup(t *testing.T) {
+	for _, scheme := range []string{sig.SchemeToy, sig.SchemeEd25519} {
+		t.Run(scheme, func(t *testing.T) {
+			cfg := model.Config{N: 6, T: 1}
+			const keySeed = 77
+			reused, err := core.New(cfg, core.WithSeed(1), core.WithKeySeed(keySeed), core.WithScheme(scheme))
+			if err != nil {
+				t.Fatalf("core.New: %v", err)
+			}
+			if _, err := reused.EstablishAuthentication(); err != nil {
+				t.Fatalf("EstablishAuthentication: %v", err)
+			}
+			runTraffic(t, reused, []byte("warm-up"))
+
+			reused.Reset(2)
+			if !reused.Established() {
+				t.Fatal("Reset dropped establishment; it must only clear the ledger and reseed run entropy")
+			}
+			if got := reused.Ledger().FDRuns(); got != 0 {
+				t.Fatalf("Reset left %d FD runs in the ledger", got)
+			}
+			gotRep := runTraffic(t, reused, []byte("measured"))
+
+			fresh, err := core.New(cfg, core.WithSeed(2), core.WithKeySeed(keySeed), core.WithScheme(scheme))
+			if err != nil {
+				t.Fatalf("core.New: %v", err)
+			}
+			if _, err := fresh.EstablishAuthentication(); err != nil {
+				t.Fatalf("EstablishAuthentication: %v", err)
+			}
+			wantRep := runTraffic(t, fresh, []byte("measured"))
+
+			if !reflect.DeepEqual(gotRep, wantRep) {
+				t.Errorf("reset-reused run differs from fresh run:\n got %+v\nwant %+v", gotRep, wantRep)
+			}
+			// Key material really is shared: directories agree node by node.
+			for i := 0; i < cfg.N; i++ {
+				dr, _ := reused.Directory(0)
+				df, _ := fresh.Directory(0)
+				if !dr.AgreesWith(df, model.NodeID(i)) {
+					t.Fatalf("node %d predicate differs between reused and fresh cluster", i)
+				}
+			}
+		})
+	}
+}
+
+// TestLedgerHandleSurvivesReset pins the in-place ledger clear: a
+// Ledger handle taken before Reset must observe the runs after it — the
+// package doc's "amortization is directly observable via Cluster.Ledger"
+// pattern.
+func TestLedgerHandleSurvivesReset(t *testing.T) {
+	c, err := core.New(model.Config{N: 4, T: 1}, core.WithSeed(1), core.WithKeySeed(1))
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	if _, err := c.EstablishAuthentication(); err != nil {
+		t.Fatalf("EstablishAuthentication: %v", err)
+	}
+	led := c.Ledger()
+	c.Reset(2)
+	if led.FDRuns() != 0 || led.KeyDistMessages() != 0 {
+		t.Fatal("Reset did not clear the ledger in place")
+	}
+	runTraffic(t, c, []byte("after reset"))
+	if led.FDRuns() != 1 {
+		t.Errorf("pre-Reset ledger handle saw %d FD runs, want 1", led.FDRuns())
+	}
+}
+
+// TestRekeyOnProductionCluster pins that Rekey pins the key seed on ANY
+// cluster (matching WithKeySeed), not just WithSeed ones, and starts a
+// clean ledger for the new key epoch.
+func TestRekeyOnProductionCluster(t *testing.T) {
+	fingerprintAfterRekey := func() string {
+		c, err := core.New(model.Config{N: 3, T: 1}) // crypto/rand cluster
+		if err != nil {
+			t.Fatalf("core.New: %v", err)
+		}
+		if _, err := c.EstablishAuthentication(); err != nil {
+			t.Fatalf("EstablishAuthentication: %v", err)
+		}
+		led := c.Ledger()
+		c.Rekey(42)
+		if led.KeyDistMessages() != 0 {
+			t.Fatal("Rekey did not clear the old epoch's ledger")
+		}
+		if _, err := c.EstablishAuthentication(); err != nil {
+			t.Fatalf("re-establish: %v", err)
+		}
+		d, _ := c.Directory(0)
+		p, _ := d.PredicateOf(1)
+		return p.Fingerprint()
+	}
+	if fingerprintAfterRekey() != fingerprintAfterRekey() {
+		t.Error("Rekey(42) on a production cluster did not pin key material to the key seed")
+	}
+}
+
+// TestClusterRekeyRegeneratesKeys checks the explicit re-keying path:
+// after Rekey the cluster demands re-establishment and the new key
+// material differs from the old.
+func TestClusterRekeyRegeneratesKeys(t *testing.T) {
+	c, err := core.New(model.Config{N: 4, T: 1}, core.WithSeed(5), core.WithKeySeed(100))
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	if _, err := c.EstablishAuthentication(); err != nil {
+		t.Fatalf("EstablishAuthentication: %v", err)
+	}
+	d, _ := c.Directory(0)
+	before, _ := d.PredicateOf(1)
+
+	c.Rekey(101)
+	if c.Established() {
+		t.Fatal("Rekey left the cluster established")
+	}
+	if _, err := c.RunFailureDiscovery([]byte("v")); err == nil {
+		t.Fatal("authenticated run succeeded after Rekey without re-establishment")
+	}
+	if _, err := c.EstablishAuthentication(); err != nil {
+		t.Fatalf("re-establish after Rekey: %v", err)
+	}
+	d2, _ := c.Directory(0)
+	after, _ := d2.PredicateOf(1)
+	if before.Fingerprint() == after.Fingerprint() {
+		t.Error("Rekey(101) regenerated identical key material")
+	}
+
+	// Rekey back to the original key seed: keys must round-trip.
+	c.Rekey(100)
+	if _, err := c.EstablishAuthentication(); err != nil {
+		t.Fatalf("re-establish: %v", err)
+	}
+	d3, _ := c.Directory(0)
+	again, _ := d3.PredicateOf(1)
+	if before.Fingerprint() != again.Fingerprint() {
+		t.Error("key material is not a pure function of the key seed")
+	}
+}
+
+// TestWithKeySeedIndependentOfRunSeed pins the entropy-domain split: two
+// clusters differing only in run seed share keys when the key seed
+// matches, and differ when it does not.
+func TestWithKeySeedIndependentOfRunSeed(t *testing.T) {
+	pred := func(runSeed, keySeed int64) string {
+		c, err := core.New(model.Config{N: 3, T: 1}, core.WithSeed(runSeed), core.WithKeySeed(keySeed))
+		if err != nil {
+			t.Fatalf("core.New: %v", err)
+		}
+		if _, err := c.EstablishAuthentication(); err != nil {
+			t.Fatalf("EstablishAuthentication: %v", err)
+		}
+		d, err := c.Directory(0)
+		if err != nil {
+			t.Fatalf("Directory: %v", err)
+		}
+		p, ok := d.PredicateOf(1)
+		if !ok {
+			t.Fatal("node 1 predicate missing")
+		}
+		return p.Fingerprint()
+	}
+	if pred(1, 42) != pred(2, 42) {
+		t.Error("run seed leaked into key material")
+	}
+	if pred(1, 42) == pred(1, 43) {
+		t.Error("key seed does not drive key material")
+	}
+
+	// Option order must not matter: WithKeySeed pins the key domain even
+	// when WithSeed comes after it.
+	reversed, err := core.New(model.Config{N: 3, T: 1}, core.WithKeySeed(42), core.WithSeed(1))
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	if _, err := reversed.EstablishAuthentication(); err != nil {
+		t.Fatalf("EstablishAuthentication: %v", err)
+	}
+	d, _ := reversed.Directory(0)
+	p, _ := d.PredicateOf(1)
+	if p.Fingerprint() != pred(1, 42) {
+		t.Error("WithSeed after WithKeySeed overrode the pinned key domain")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/model"
 	"repro/internal/sig"
@@ -60,39 +61,92 @@ func NewChallenge(challenger, challenged model.NodeID, rand io.Reader) (Challeng
 	return Challenge{Challenger: challenger, Challenged: challenged, Nonce: nonce}, nil
 }
 
-// Marshal encodes the challenge for the wire.
-func (c Challenge) Marshal() []byte {
-	return sig.NewEncoder().
-		Int(int(c.Challenger)).
-		Int(int(c.Challenged)).
-		Bytes(c.Nonce).
-		Encoding()
+// MarshalSize returns the exact wire size of the challenge, so MarshalTo
+// callers can presize the destination buffer.
+func (c Challenge) MarshalSize() int {
+	return 2*sig.IntFieldSize + sig.BytesFieldSize(len(c.Nonce))
 }
 
-// UnmarshalChallenge decodes a wire challenge.
-func UnmarshalChallenge(data []byte) (Challenge, error) {
+// MarshalTo appends the wire encoding to dst and returns the extended
+// slice — the zero-allocation path for callers that reuse a buffer.
+func (c Challenge) MarshalTo(dst []byte) []byte {
+	dst = sig.AppendInt(dst, int(c.Challenger))
+	dst = sig.AppendInt(dst, int(c.Challenged))
+	return sig.AppendBytes(dst, c.Nonce)
+}
+
+// Marshal encodes the challenge for the wire in a single exactly-sized
+// allocation.
+func (c Challenge) Marshal() []byte {
+	return c.MarshalTo(make([]byte, 0, c.MarshalSize()))
+}
+
+// ParseChallenge decodes a wire challenge without copying: the returned
+// challenge's Nonce aliases data. It is the hot-path decoder for callers
+// (the protocol nodes) that consume the challenge before the underlying
+// buffer is reused; callers that retain the challenge must use
+// UnmarshalChallenge. The whole frame is validated — including trailing
+// garbage and the nonce width — before any field is returned: no correct
+// node ever issues a nonce that is not NonceSize bytes, so an off-width
+// nonce is rejected here instead of being signed (and sizing the pooled
+// sign-payload scratch to attacker-chosen lengths).
+func ParseChallenge(data []byte) (Challenge, error) {
 	d := sig.NewDecoder(data)
-	c := Challenge{
-		Challenger: model.NodeID(d.Int()),
-		Challenged: model.NodeID(d.Int()),
-	}
-	c.Nonce = append([]byte(nil), d.Bytes()...)
+	challenger := model.NodeID(d.Int())
+	challenged := model.NodeID(d.Int())
+	nonce := d.Bytes()
 	if err := d.Finish(); err != nil {
 		return Challenge{}, fmt.Errorf("%w: %v", ErrBadChallenge, err)
 	}
+	if len(nonce) != NonceSize {
+		return Challenge{}, fmt.Errorf("%w: nonce is %d bytes, want %d", ErrBadChallenge, len(nonce), NonceSize)
+	}
+	return Challenge{Challenger: challenger, Challenged: challenged, Nonce: nonce}, nil
+}
+
+// UnmarshalChallenge decodes a wire challenge into owned storage. The
+// frame is fully validated before the nonce is copied, so malformed or
+// trailing-garbage input costs no allocation.
+func UnmarshalChallenge(data []byte) (Challenge, error) {
+	c, err := ParseChallenge(data)
+	if err != nil {
+		return Challenge{}, err
+	}
+	c.Nonce = append([]byte(nil), c.Nonce...)
 	return c, nil
 }
 
-// SignPayload is the byte string the challenged node signs: the
-// domain-separation tag plus both names and the nonce.
-func (c Challenge) SignPayload() []byte {
-	return sig.NewEncoder().
-		String(challengeTag).
-		Int(int(c.Challenger)).
-		Int(int(c.Challenged)).
-		Bytes(c.Nonce).
-		Encoding()
+// SignPayloadSize returns the exact size of the signed byte string.
+func (c Challenge) SignPayloadSize() int {
+	return sig.BytesFieldSize(len(challengeTag)) + 2*sig.IntFieldSize + sig.BytesFieldSize(len(c.Nonce))
 }
+
+// AppendSignPayload appends the byte string the challenged node signs —
+// the domain-separation tag plus both names and the nonce — to dst and
+// returns the extended slice.
+func (c Challenge) AppendSignPayload(dst []byte) []byte {
+	dst = sig.AppendString(dst, challengeTag)
+	dst = sig.AppendInt(dst, int(c.Challenger))
+	dst = sig.AppendInt(dst, int(c.Challenged))
+	return sig.AppendBytes(dst, c.Nonce)
+}
+
+// SignPayload is the byte string the challenged node signs, in a fresh
+// exactly-sized allocation. Hot paths use AppendSignPayload with the
+// pooled scratch instead.
+func (c Challenge) SignPayload() []byte {
+	return c.AppendSignPayload(make([]byte, 0, c.SignPayloadSize()))
+}
+
+// payloadPool recycles sign-payload scratch buffers across Respond and
+// VerifyResponse calls, so building the signed byte string allocates
+// nothing on the hot path. Payloads are handed to Sign/Test and never
+// retained (the sig schemes hash or copy them), so returning the buffer
+// immediately afterwards is safe.
+var payloadPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, sig.BytesFieldSize(len(challengeTag))+2*sig.IntFieldSize+sig.BytesFieldSize(NonceSize))
+	return &b
+}}
 
 // Response is the signed challenge {P_i, P_j, r}_{S_j} sent back to the
 // challenger, carried with its plaintext fields so the challenger can
@@ -105,7 +159,11 @@ type Response struct {
 // Respond produces the response a correct node sends for a challenge it
 // has already screened with ShouldSign.
 func Respond(c Challenge, signer sig.Signer) (Response, error) {
-	s, err := signer.Sign(c.SignPayload())
+	bp := payloadPool.Get().(*[]byte)
+	payload := c.AppendSignPayload((*bp)[:0])
+	s, err := signer.Sign(payload)
+	*bp = payload[:0]
+	payloadPool.Put(bp)
 	if err != nil {
 		return Response{}, fmt.Errorf("keydist: sign challenge: %w", err)
 	}
@@ -119,18 +177,28 @@ func ShouldSign(c Challenge, self, immediateSender model.NodeID) bool {
 	return c.Challenged == self && c.Challenger == immediateSender
 }
 
-// Marshal encodes the response for the wire.
-func (r Response) Marshal() []byte {
-	return sig.NewEncoder().
-		Int(int(r.Challenge.Challenger)).
-		Int(int(r.Challenge.Challenged)).
-		Bytes(r.Challenge.Nonce).
-		Bytes(r.Signature).
-		Encoding()
+// MarshalSize returns the exact wire size of the response.
+func (r Response) MarshalSize() int {
+	return r.Challenge.MarshalSize() + sig.BytesFieldSize(len(r.Signature))
 }
 
-// UnmarshalResponse decodes a wire response.
-func UnmarshalResponse(data []byte) (Response, error) {
+// MarshalTo appends the wire encoding to dst and returns the extended
+// slice.
+func (r Response) MarshalTo(dst []byte) []byte {
+	dst = r.Challenge.MarshalTo(dst)
+	return sig.AppendBytes(dst, r.Signature)
+}
+
+// Marshal encodes the response for the wire in a single exactly-sized
+// allocation.
+func (r Response) Marshal() []byte {
+	return r.MarshalTo(make([]byte, 0, r.MarshalSize()))
+}
+
+// ParseResponse decodes a wire response without copying: the returned
+// response's Nonce and Signature alias data. See ParseChallenge for the
+// aliasing contract; UnmarshalResponse is the owning variant.
+func ParseResponse(data []byte) (Response, error) {
 	d := sig.NewDecoder(data)
 	r := Response{
 		Challenge: Challenge{
@@ -138,11 +206,35 @@ func UnmarshalResponse(data []byte) (Response, error) {
 			Challenged: model.NodeID(d.Int()),
 		},
 	}
-	r.Challenge.Nonce = append([]byte(nil), d.Bytes()...)
-	r.Signature = append([]byte(nil), d.Bytes()...)
+	nonce := d.Bytes()
+	signature := d.Bytes()
 	if err := d.Finish(); err != nil {
 		return Response{}, fmt.Errorf("%w: %v", ErrBadResponse, err)
 	}
+	if len(nonce) != NonceSize {
+		return Response{}, fmt.Errorf("%w: nonce is %d bytes, want %d", ErrBadResponse, len(nonce), NonceSize)
+	}
+	r.Challenge.Nonce = nonce
+	r.Signature = signature
+	return r, nil
+}
+
+// UnmarshalResponse decodes a wire response into owned storage. The frame
+// is fully validated before any copying, and both variable-length fields
+// are copied out of one arena allocation.
+func UnmarshalResponse(data []byte) (Response, error) {
+	r, err := ParseResponse(data)
+	if err != nil {
+		return Response{}, err
+	}
+	arena := make([]byte, 0, len(r.Challenge.Nonce)+len(r.Signature))
+	arena = append(arena, r.Challenge.Nonce...)
+	arena = append(arena, r.Signature...)
+	// Full slice expressions pin the capacity of each field to its length,
+	// so a later append to one cannot silently overwrite the other.
+	n := len(r.Challenge.Nonce)
+	r.Challenge.Nonce = arena[:n:n]
+	r.Signature = arena[n:len(arena):len(arena)]
 	return r, nil
 }
 
@@ -159,7 +251,12 @@ func VerifyResponse(issued Challenge, r Response, pred sig.TestPredicate) error 
 	if string(r.Challenge.Nonce) != string(issued.Nonce) {
 		return ErrWrongNonce
 	}
-	if !pred.Test(issued.SignPayload(), r.Signature) {
+	bp := payloadPool.Get().(*[]byte)
+	payload := issued.AppendSignPayload((*bp)[:0])
+	ok := pred.Test(payload, r.Signature)
+	*bp = payload[:0]
+	payloadPool.Put(bp)
+	if !ok {
 		return ErrBadSignature
 	}
 	return nil

@@ -1,0 +1,205 @@
+package keydist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sig"
+)
+
+// Differential oracles for the challenge/response wire formats and the
+// signing payload. The slow implementations below are the pre-PR-3
+// encoder-returning code, kept verbatim per the PERF.md ground rule:
+// wire bytes are consensus-critical, so every fast path must be proven
+// byte-identical to the original, not just plausible.
+
+// slowMarshalChallenge is the original Challenge.Marshal.
+func slowMarshalChallenge(c Challenge) []byte {
+	return sig.NewEncoder().
+		Int(int(c.Challenger)).
+		Int(int(c.Challenged)).
+		Bytes(c.Nonce).
+		Encoding()
+}
+
+// slowSignPayload is the original Challenge.SignPayload.
+func slowSignPayload(c Challenge) []byte {
+	return sig.NewEncoder().
+		String(challengeTag).
+		Int(int(c.Challenger)).
+		Int(int(c.Challenged)).
+		Bytes(c.Nonce).
+		Encoding()
+}
+
+// slowMarshalResponse is the original Response.Marshal.
+func slowMarshalResponse(r Response) []byte {
+	return sig.NewEncoder().
+		Int(int(r.Challenge.Challenger)).
+		Int(int(r.Challenge.Challenged)).
+		Bytes(r.Challenge.Nonce).
+		Bytes(r.Signature).
+		Encoding()
+}
+
+// randomChallenge draws a challenge with adversarial field shapes: odd
+// nonce sizes (including empty and oversized) and out-of-range IDs.
+func randomChallenge(rng *rand.Rand) Challenge {
+	nonce := make([]byte, rng.Intn(64))
+	rng.Read(nonce)
+	if rng.Intn(8) == 0 {
+		nonce = nil
+	}
+	return Challenge{
+		Challenger: model.NodeID(rng.Intn(1024) - 512),
+		Challenged: model.NodeID(rng.Intn(1024) - 512),
+		Nonce:      nonce,
+	}
+}
+
+func TestChallengeMarshalMatchesSlowOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		c := randomChallenge(rng)
+		want := slowMarshalChallenge(c)
+		if got := c.Marshal(); !bytes.Equal(got, want) {
+			t.Fatalf("Marshal diverged from oracle for %+v:\n got %x\nwant %x", c, got, want)
+		}
+		if got := c.MarshalTo(nil); !bytes.Equal(got, want) {
+			t.Fatalf("MarshalTo(nil) diverged from oracle for %+v", c)
+		}
+		// MarshalTo must append, not overwrite.
+		prefix := []byte("prefix")
+		got := c.MarshalTo(append([]byte(nil), prefix...))
+		if !bytes.Equal(got[:len(prefix)], prefix) || !bytes.Equal(got[len(prefix):], want) {
+			t.Fatalf("MarshalTo clobbered the destination prefix")
+		}
+		if c.MarshalSize() != len(want) {
+			t.Fatalf("MarshalSize = %d, wire is %d bytes", c.MarshalSize(), len(want))
+		}
+	}
+}
+
+func TestSignPayloadMatchesSlowOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		c := randomChallenge(rng)
+		want := slowSignPayload(c)
+		if got := c.SignPayload(); !bytes.Equal(got, want) {
+			t.Fatalf("SignPayload diverged from oracle for %+v", c)
+		}
+		if got := c.AppendSignPayload(nil); !bytes.Equal(got, want) {
+			t.Fatalf("AppendSignPayload diverged from oracle for %+v", c)
+		}
+		if c.SignPayloadSize() != len(want) {
+			t.Fatalf("SignPayloadSize = %d, payload is %d bytes", c.SignPayloadSize(), len(want))
+		}
+	}
+}
+
+func TestResponseMarshalMatchesSlowOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		sigBytes := make([]byte, rng.Intn(128))
+		rng.Read(sigBytes)
+		r := Response{Challenge: randomChallenge(rng), Signature: sigBytes}
+		want := slowMarshalResponse(r)
+		if got := r.Marshal(); !bytes.Equal(got, want) {
+			t.Fatalf("Marshal diverged from oracle for %+v", r)
+		}
+		if got := r.MarshalTo(nil); !bytes.Equal(got, want) {
+			t.Fatalf("MarshalTo diverged from oracle for %+v", r)
+		}
+		if r.MarshalSize() != len(want) {
+			t.Fatalf("MarshalSize = %d, wire is %d bytes", r.MarshalSize(), len(want))
+		}
+	}
+}
+
+// TestUnmarshalRejectsTrailingBytesEarly pins the PR 3 decode fix: a
+// frame with trailing garbage must be rejected — and rejected before any
+// field copying happens (no allocation on the failure path, checked by
+// the perf pins; here we check the error surface is uniform).
+func TestUnmarshalRejectsTrailingBytesEarly(t *testing.T) {
+	ch := Challenge{Challenger: 0, Challenged: 1, Nonce: bytes.Repeat([]byte{7}, NonceSize)}
+	for _, extra := range [][]byte{{0}, {1, 2, 3}, bytes.Repeat([]byte{9}, 64)} {
+		if _, err := UnmarshalChallenge(append(ch.Marshal(), extra...)); err == nil {
+			t.Fatalf("UnmarshalChallenge accepted %d trailing bytes", len(extra))
+		}
+		r := Response{Challenge: ch, Signature: []byte("sig")}
+		if _, err := UnmarshalResponse(append(r.Marshal(), extra...)); err == nil {
+			t.Fatalf("UnmarshalResponse accepted %d trailing bytes", len(extra))
+		}
+	}
+	// Truncated frames fail too, with the typed errors.
+	wire := ch.Marshal()
+	for cut := 0; cut < len(wire); cut++ {
+		if _, err := UnmarshalChallenge(wire[:cut]); err == nil {
+			t.Fatalf("UnmarshalChallenge accepted a %d/%d-byte truncation", cut, len(wire))
+		}
+	}
+}
+
+// TestParseRejectsOffWidthNonces pins the nonce bound: no correct node
+// issues anything but a NonceSize nonce, so a structurally valid frame
+// carrying an oversized (or undersized) nonce must be rejected at parse
+// time — before it can be signed or sized into the pooled scratch.
+func TestParseRejectsOffWidthNonces(t *testing.T) {
+	for _, width := range []int{0, 1, NonceSize - 1, NonceSize + 1, 1 << 20} {
+		ch := Challenge{Challenger: 0, Challenged: 1, Nonce: bytes.Repeat([]byte{3}, width)}
+		if _, err := ParseChallenge(ch.Marshal()); err == nil {
+			t.Errorf("ParseChallenge accepted a %d-byte nonce", width)
+		}
+		r := Response{Challenge: ch, Signature: []byte("sig")}
+		if _, err := ParseResponse(r.Marshal()); err == nil {
+			t.Errorf("ParseResponse accepted a %d-byte nonce", width)
+		}
+	}
+	ok := Challenge{Challenger: 0, Challenged: 1, Nonce: bytes.Repeat([]byte{3}, NonceSize)}
+	if _, err := ParseChallenge(ok.Marshal()); err != nil {
+		t.Errorf("ParseChallenge rejected a NonceSize nonce: %v", err)
+	}
+}
+
+// TestParseAliasesUnmarshalCopies pins the ownership contracts of the
+// two decode variants.
+func TestParseAliasesUnmarshalCopies(t *testing.T) {
+	ch := Challenge{Challenger: 2, Challenged: 3, Nonce: bytes.Repeat([]byte{5}, NonceSize)}
+	wire := ch.Marshal()
+
+	aliased, err := ParseChallenge(wire)
+	if err != nil {
+		t.Fatalf("ParseChallenge: %v", err)
+	}
+	owned, err := UnmarshalChallenge(wire)
+	if err != nil {
+		t.Fatalf("UnmarshalChallenge: %v", err)
+	}
+	wire[len(wire)-1] ^= 0xFF // mutate the buffer under both
+	if aliased.Nonce[len(aliased.Nonce)-1] == 5 {
+		t.Error("ParseChallenge copied the nonce; it must alias")
+	}
+	if owned.Nonce[len(owned.Nonce)-1] != 5 {
+		t.Error("UnmarshalChallenge aliased the nonce; it must copy")
+	}
+
+	r := Response{Challenge: ch, Signature: []byte("signature")}
+	rwire := r.Marshal()
+	rowned, err := UnmarshalResponse(rwire)
+	if err != nil {
+		t.Fatalf("UnmarshalResponse: %v", err)
+	}
+	for i := range rwire {
+		rwire[i] = 0
+	}
+	if !bytes.Equal(rowned.Challenge.Nonce, ch.Nonce) || !bytes.Equal(rowned.Signature, r.Signature) {
+		t.Error("UnmarshalResponse fields alias the wire buffer; they must be owned copies")
+	}
+	// The arena layout must not let one field grow into the other.
+	rowned.Challenge.Nonce = append(rowned.Challenge.Nonce, 0xAA)
+	if !bytes.Equal(rowned.Signature, r.Signature) {
+		t.Error("appending to the nonce overwrote the signature arena")
+	}
+}

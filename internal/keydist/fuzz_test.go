@@ -1,6 +1,7 @@
 package keydist
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/sim"
@@ -8,29 +9,41 @@ import (
 
 // Fuzz targets for the key-distribution wire formats: challenges and
 // responses arrive from arbitrary (possibly faulty) peers and must parse
-// defensively.
+// defensively. Seeds include truncated and overlong frames so the
+// trailing-byte rejection path (frames are validated before any field is
+// copied) stays covered.
 
 func FuzzUnmarshalChallenge(f *testing.F) {
 	ch, err := NewChallenge(0, 1, sim.SeededReader(1))
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Add(ch.Marshal())
+	wire := ch.Marshal()
+	f.Add(wire)
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
+	f.Add(wire[:len(wire)-1])                          // truncated inside the nonce
+	f.Add(wire[:2*8])                                  // truncated at the length prefix
+	f.Add(append(wire[:len(wire):len(wire)], 0))       // one trailing byte
+	f.Add(append(wire[:len(wire):len(wire)], wire...)) // a whole second frame
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := UnmarshalChallenge(data)
 		if err != nil {
 			return
 		}
-		// Round trip must be stable.
-		c2, err := UnmarshalChallenge(c.Marshal())
-		if err != nil {
-			t.Fatalf("remarshal failed: %v", err)
+		// A parse that succeeded consumed the whole frame: re-encoding
+		// must reproduce the input bytes exactly.
+		if !bytes.Equal(c.Marshal(), data) {
+			t.Fatalf("accepted frame does not round-trip: %x", data)
 		}
-		if c2.Challenger != c.Challenger || c2.Challenged != c.Challenged ||
-			string(c2.Nonce) != string(c.Nonce) {
-			t.Fatal("challenge round trip changed fields")
+		// The aliasing parser must agree with the owning one.
+		aliased, err := ParseChallenge(data)
+		if err != nil {
+			t.Fatalf("ParseChallenge rejected what UnmarshalChallenge accepted: %v", err)
+		}
+		if aliased.Challenger != c.Challenger || aliased.Challenged != c.Challenged ||
+			!bytes.Equal(aliased.Nonce, c.Nonce) {
+			t.Fatal("ParseChallenge and UnmarshalChallenge disagree")
 		}
 	})
 }
@@ -41,15 +54,26 @@ func FuzzUnmarshalResponse(f *testing.F) {
 		f.Fatal(err)
 	}
 	resp := Response{Challenge: ch, Signature: []byte("not a real signature")}
-	f.Add(resp.Marshal())
+	wire := resp.Marshal()
+	f.Add(wire)
 	f.Add([]byte{})
+	f.Add(wire[:len(wire)-1])                       // truncated signature
+	f.Add(wire[:ch.MarshalSize()])                  // missing signature field
+	f.Add(append(wire[:len(wire):len(wire)], 0xFF)) // trailing byte
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := UnmarshalResponse(data)
 		if err != nil {
 			return
 		}
-		if _, err := UnmarshalResponse(r.Marshal()); err != nil {
-			t.Fatalf("remarshal failed: %v", err)
+		if !bytes.Equal(r.Marshal(), data) {
+			t.Fatalf("accepted frame does not round-trip: %x", data)
+		}
+		aliased, err := ParseResponse(data)
+		if err != nil {
+			t.Fatalf("ParseResponse rejected what UnmarshalResponse accepted: %v", err)
+		}
+		if !bytes.Equal(aliased.Signature, r.Signature) || !bytes.Equal(aliased.Challenge.Nonce, r.Challenge.Nonce) {
+			t.Fatal("ParseResponse and UnmarshalResponse disagree")
 		}
 	})
 }

@@ -1,0 +1,145 @@
+package keydist
+
+import (
+	"testing"
+
+	"repro/internal/sig"
+	"repro/internal/sim"
+)
+
+// Allocation pins for the PR 3 zero-alloc handshake hot path. The
+// pre-PR-3 round trip cost 23 allocs/op (toy) and 21 allocs/op
+// (ed25519); the pins below hold the ≥4x reduction. Skipped under -race
+// (instrumentation inflates counts), like every AllocsPerRun pin in the
+// repository.
+
+// roundTrip exercises the full challenge→respond→verify exchange the way
+// the protocol nodes do: the challenger's wire encode, the challenged
+// node's aliasing parse + pooled-payload signing + response encode, and
+// the challenger's aliasing parse + echo check + pooled-payload verify.
+// Wire buffers are reused across calls, as the engine's reused inboxes
+// allow.
+func roundTrip(issued Challenge, signer sig.Signer, pred sig.TestPredicate, chalWire, respWire []byte) ([]byte, []byte, error) {
+	chalWire = issued.MarshalTo(chalWire[:0])
+	ch, err := ParseChallenge(chalWire)
+	if err != nil {
+		return chalWire, respWire, err
+	}
+	resp, err := Respond(ch, signer)
+	if err != nil {
+		return chalWire, respWire, err
+	}
+	respWire = resp.MarshalTo(respWire[:0])
+	echoed, err := ParseResponse(respWire)
+	if err != nil {
+		return chalWire, respWire, err
+	}
+	return chalWire, respWire, VerifyResponse(issued, echoed, pred)
+}
+
+func handshakeFixture(tb testing.TB, schemeName string) (Challenge, sig.Signer, sig.TestPredicate) {
+	tb.Helper()
+	scheme, err := sig.ByName(schemeName)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	signer, err := scheme.Generate(sim.SeededReader(1))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	issued, err := NewChallenge(0, 1, sim.SeededReader(2))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return issued, signer, signer.Predicate()
+}
+
+func TestHandshakeRoundTripAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	for _, tc := range []struct {
+		scheme string
+		// max allocs/op for the full round trip; the scheme's own Sign
+		// and Test dominate what remains.
+		max float64
+	}{
+		{sig.SchemeToy, 5},
+		{sig.SchemeEd25519, 5},
+	} {
+		t.Run(tc.scheme, func(t *testing.T) {
+			issued, signer, pred := handshakeFixture(t, tc.scheme)
+			chalWire := make([]byte, 0, issued.MarshalSize())
+			respWire := make([]byte, 0, 256)
+			var err error
+			allocs := testing.AllocsPerRun(200, func() {
+				chalWire, respWire, err = roundTrip(issued, signer, pred, chalWire, respWire)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > tc.max {
+				t.Errorf("round trip costs %.1f allocs/op, pin is %.0f (was 23 pre-PR-3)", allocs, tc.max)
+			}
+		})
+	}
+}
+
+// TestWireCodecAllocs pins the codec paths in isolation: encoding into a
+// reused buffer and the aliasing parses are allocation-free, and the
+// malformed-input paths pay only for constructing the wrapped error —
+// never for a field arena, because frames are fully validated before any
+// copying.
+func TestWireCodecAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	issued, signer, _ := handshakeFixture(t, sig.SchemeToy)
+	resp, err := Respond(issued, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chalWire := issued.Marshal()
+	respWire := resp.Marshal()
+	trailing := append(append([]byte(nil), chalWire...), 0xEE)
+	buf := make([]byte, 0, 512)
+
+	for _, tc := range []struct {
+		name string
+		// max allocs/op: 0 for the hot paths, 4 for the reject paths
+		// (fmt.Errorf wrapping; no field copies).
+		max float64
+		fn  func()
+	}{
+		{"challenge MarshalTo", 0, func() { buf = issued.MarshalTo(buf[:0]) }},
+		{"response MarshalTo", 0, func() { buf = resp.MarshalTo(buf[:0]) }},
+		{"ParseChallenge", 0, func() { _, _ = ParseChallenge(chalWire) }},
+		{"ParseResponse", 0, func() { _, _ = ParseResponse(respWire) }},
+		{"AppendSignPayload", 0, func() { buf = issued.AppendSignPayload(buf[:0]) }},
+		{"reject trailing", 4, func() { _, _ = UnmarshalChallenge(trailing) }},
+		{"reject truncated", 4, func() { _, _ = UnmarshalResponse(respWire[:3]) }},
+	} {
+		if allocs := testing.AllocsPerRun(200, tc.fn); allocs > tc.max {
+			t.Errorf("%s costs %.1f allocs/op, want <= %.0f", tc.name, allocs, tc.max)
+		}
+	}
+}
+
+func BenchmarkHandshakeRoundTrip(b *testing.B) {
+	for _, scheme := range []string{sig.SchemeToy, sig.SchemeEd25519} {
+		b.Run(scheme, func(b *testing.B) {
+			issued, signer, pred := handshakeFixture(b, scheme)
+			chalWire := make([]byte, 0, issued.MarshalSize())
+			respWire := make([]byte, 0, 256)
+			var err error
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				chalWire, respWire, err = roundTrip(issued, signer, pred, chalWire, respWire)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -60,17 +60,38 @@ type pendingPeer struct {
 	duplicated bool
 }
 
+// NodeOption configures a Node beyond the required parameters.
+type NodeOption func(*nodeConfig)
+
+type nodeConfig struct {
+	keyRand io.Reader
+}
+
+// WithKeyRand draws key-generation entropy from r instead of the node's
+// run entropy (nonces keep coming from the rand passed to NewNode). The
+// split is what makes key material a pure function of a key seed alone:
+// core.Cluster pins its keys with it so cached clusters and fresh ones
+// derive byte-identical signatures, whatever run seed drew the nonces.
+func WithKeyRand(r io.Reader) NodeOption {
+	return func(c *nodeConfig) { c.keyRand = r }
+}
+
 // NewNode creates a correct key-distribution participant. It generates the
 // node's key pair immediately (the paper's "generate a secret key S_i and
-// an appropriate test predicate T_i"), drawing entropy from rand.
-func NewNode(cfg model.Config, id model.NodeID, scheme sig.Scheme, rand io.Reader) (*Node, error) {
+// an appropriate test predicate T_i"), drawing entropy from rand — or from
+// the WithKeyRand reader, when key material is pinned separately.
+func NewNode(cfg model.Config, id model.NodeID, scheme sig.Scheme, rand io.Reader, opts ...NodeOption) (*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if !id.Valid(cfg.N) {
 		return nil, fmt.Errorf("keydist: node id %v out of range for n=%d", id, cfg.N)
 	}
-	signer, err := scheme.Generate(rand)
+	nc := nodeConfig{keyRand: rand}
+	for _, opt := range opts {
+		opt(&nc)
+	}
+	signer, err := scheme.Generate(nc.keyRand)
 	if err != nil {
 		return nil, fmt.Errorf("keydist: generate key for %v: %w", id, err)
 	}
@@ -200,7 +221,10 @@ func (n *Node) respondAll(round int, received []model.Message) []model.Message {
 				fmt.Sprintf("%v sent %v during challenge round", m.From, m.Kind))
 			continue
 		}
-		ch, err := UnmarshalChallenge(m.Payload)
+		// ParseChallenge aliases the payload instead of copying the nonce;
+		// safe here because the challenge is consumed within this round
+		// (the response wire bytes copy the nonce) and never retained.
+		ch, err := ParseChallenge(m.Payload)
 		if err != nil {
 			n.discover(round, model.ReasonBadFormat,
 				fmt.Sprintf("unparsable challenge from %v: %v", m.From, err))
@@ -232,7 +256,9 @@ func (n *Node) acceptAll(round int, received []model.Message) {
 				fmt.Sprintf("%v sent %v during response round", m.From, m.Kind))
 			continue
 		}
-		resp, err := UnmarshalResponse(m.Payload)
+		// Aliasing parse: the response is checked and dropped within this
+		// round, so no copy of nonce or signature is needed.
+		resp, err := ParseResponse(m.Payload)
 		if err != nil {
 			n.discover(round, model.ReasonBadFormat,
 				fmt.Sprintf("unparsable response from %v: %v", m.From, err))

@@ -1,0 +1,7 @@
+//go:build !race
+
+package keydist
+
+// raceEnabled reports that the race detector is on; its instrumentation
+// inflates allocation counts, so AllocsPerRun regression tests skip.
+const raceEnabled = false

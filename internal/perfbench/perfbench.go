@@ -13,7 +13,9 @@ import (
 	"testing"
 
 	"repro/internal/ba"
+	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/keydist"
 	"repro/internal/model"
 	"repro/internal/sig"
 	"repro/internal/sim"
@@ -150,6 +152,111 @@ func FDRun(n, t int) func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := c.RunFailureDiscovery([]byte(fmt.Sprintf("value-%d", i))); err != nil {
 				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// KeydistHandshake measures the full local-authentication setup — n key
+// generations plus the 3n(n−1)-message challenge/response handshake —
+// that Cluster.Reset and the campaign setup cache amortize away. Every
+// iteration builds a fresh cluster (an established one cannot establish
+// again), so this is exactly the per-run cost the uncached path pays.
+func KeydistHandshake(n, t int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, err := core.New(model.Config{N: n, T: t}, core.WithSeed(1), core.WithKeySeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := c.EstablishAuthentication()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got, want := rep.Snapshot.Messages, keydist.ExpectedMessages(n); got != want {
+				b.Fatalf("handshake sent %d messages, want %d", got, want)
+			}
+		}
+	}
+}
+
+// HandshakeRoundTrip measures one challenge→respond→verify exchange on
+// the zero-alloc codec path: encode into reused buffers, aliasing
+// parses, pooled sign-payload scratch. This is the per-peer unit the
+// handshake executes n(n−1) times.
+func HandshakeRoundTrip(schemeName string) func(b *testing.B) {
+	return func(b *testing.B) {
+		scheme, err := sig.ByName(schemeName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		signer, err := scheme.Generate(rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pred := signer.Predicate()
+		issued, err := keydist.NewChallenge(0, 1, rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		chalWire := make([]byte, 0, issued.MarshalSize())
+		respWire := make([]byte, 0, 256)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			chalWire = issued.MarshalTo(chalWire[:0])
+			ch, err := keydist.ParseChallenge(chalWire)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp, err := keydist.Respond(ch, signer)
+			if err != nil {
+				b.Fatal(err)
+			}
+			respWire = resp.MarshalTo(respWire[:0])
+			echoed, err := keydist.ParseResponse(respWire)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := keydist.VerifyResponse(issued, echoed, pred); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// CampaignChainSweep measures a chain-protocol seed sweep at one fixed
+// (scheme, n, t) cell — the paper's many-runs-one-setup workload. warm
+// runs with the per-worker setup cache (key material and handshake paid
+// once), cold with per-instance fresh setup (the pre-PR-3 behaviour).
+// Single worker, so the two modes differ only in setup reuse; the
+// cached-vs-fresh differential test guarantees both produce the same
+// report, so this benchmark measures pure setup overhead.
+func CampaignChainSweep(n, t, seeds int, warm bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		spec := campaign.Spec{
+			Name:      "bench-chain-sweep",
+			Protocols: []string{campaign.ProtoChain},
+			Cases:     []campaign.Case{{N: n, T: t}},
+			SeedBase:  1,
+			SeedCount: seeds,
+		}
+		var opts []campaign.Option
+		if !warm {
+			opts = append(opts, campaign.WithoutSetupCache())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := campaign.Run(spec, 1, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, g := range rep.Groups {
+				if g.Errors != 0 {
+					b.Fatalf("group %s: %d errored instances", g.Key, g.Errors)
+				}
 			}
 		}
 	}

@@ -20,11 +20,36 @@ func SeededReader(seed int64) io.Reader {
 	return &rngReader{rng: rand.New(rand.NewSource(seed))}
 }
 
+// keyDomain separates the key-material seed domain from the run-entropy
+// domain.
+const keyDomain uint64 = 0x6B65792D646F6D61 // "key-doma"
+
+// KeyMaterialSeed derives the per-node key-generation seed. It is a
+// stream domain distinct from NodeSeed's run-entropy domain: key material
+// derived from a key seed is identical no matter which run seed the rest
+// of the instance uses, which is what lets clusters cache and reuse keys
+// across reseeded runs (core.Cluster.Reset, the campaign setup cache)
+// while remaining byte-equivalent to a fresh instance.
+//
+// The domain tag is folded in AFTER a full mixing round, not XORed onto
+// the input: NodeSeed(keySeed^tag, node) would make the run seed
+// keySeed^tag reproduce every node's key stream wholesale, whereas no
+// single run seed can reproduce mix(NodeSeed(k, node)^tag) across nodes
+// (the tag lands on a value that already depends on node nonlinearly).
+func KeyMaterialSeed(keySeed int64, node int) int64 {
+	return mix64(uint64(NodeSeed(keySeed, node)) ^ keyDomain)
+}
+
 // NodeSeed derives a distinct per-node seed from a run seed, so nodes get
 // independent deterministic streams.
 func NodeSeed(runSeed int64, node int) int64 {
 	// SplitMix64-style mixing keeps nearby inputs uncorrelated.
-	z := uint64(runSeed) + uint64(node)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	return mix64(uint64(runSeed) + uint64(node)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15)
+}
+
+// mix64 is the SplitMix64 finalizer shared by the seed-derivation
+// functions.
+func mix64(z uint64) int64 {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return int64(z ^ (z >> 31))
