@@ -14,6 +14,20 @@
 //	fdcampaign -setupcache=false           # regenerate all key material per
 //	                                       # instance (differential baseline)
 //
+// Adversaries are legacy alias names or composable strategy specs
+// (selector:param,...  — see adversary.ParseStrategy). Because strategy
+// specs use commas internally, multiple -adversaries entries separate on
+// ";" when any strategy spec is present:
+//
+//	fdcampaign -adversaries none,crash-relay            # legacy list
+//	fdcampaign -adversaries "none;coalition:size=2,behavior=equivocate,partition=even-odd;relay:behavior=delay,delay=2"
+//
+// Every completed instance is scored against the paper's conformance
+// predicates (termination/agreement/validity, see campaign.Verdict); the
+// table's "conform" column reports the per-group pass fraction and
+// -strict exits with status 2 when any instance records an unexcused
+// violation — a campaign run is a property test over its whole grid.
+//
 // The aggregate output is byte-identical for any -workers value AND for
 // either -setupcache mode on the same spec — the determinism contracts
 // the campaign tests and CI enforce. The setup cache only changes how
@@ -41,13 +55,14 @@ func main() {
 		sizes       = flag.String("sizes", "4,8,16", "comma-separated system sizes n")
 		tols        = flag.String("tols", "", "comma-separated fault bounds t (empty = classical (n-1)/3 per size)")
 		schemes     = flag.String("schemes", sig.SchemeEd25519, "comma-separated signature schemes")
-		adversaries = flag.String("adversaries", "none,crash-relay", "comma-separated adversary mixes: none,crash-sender,crash-relay,equivocate")
+		adversaries = flag.String("adversaries", "none,crash-relay", "adversary mixes: legacy names (none,crash-sender,crash-relay,equivocate) or strategy specs (coalition:size=2,behavior=equivocate); ';'-separated when specs are present")
 		seedBase    = flag.Int64("seed-base", 19950530, "base seed of the deterministic seed range")
 		seeds       = flag.Int("seeds", 10, "seeded repetitions per configuration")
 		workers     = flag.Int("workers", 0, "worker shards (0 = one per CPU)")
 		setupCache  = flag.Bool("setupcache", true, "reuse key material and established clusters across seeds (false = regenerate per instance; reports are byte-identical either way)")
 		jsonOut     = flag.String("json", "", "write the machine-readable report to this path ('-' = stdout)")
 		csv         = flag.Bool("csv", false, "render the summary table as CSV")
+		strict      = flag.Bool("strict", false, "exit with status 2 when any instance violates a conformance predicate")
 	)
 	flag.Parse()
 
@@ -67,7 +82,7 @@ func main() {
 			Sizes:       splitInts(*sizes),
 			Tols:        splitInts(*tols),
 			Schemes:     splitList(*schemes),
-			Adversaries: splitList(*adversaries),
+			Adversaries: campaign.SplitAdversaryList(*adversaries),
 			SeedBase:    *seedBase,
 			SeedCount:   *seeds,
 		}
@@ -111,6 +126,18 @@ func main() {
 			report.Table().RenderCSV(os.Stdout)
 		} else {
 			report.Table().Render(os.Stdout)
+		}
+	}
+	if violations := report.Violations(); violations > 0 {
+		fmt.Fprintf(os.Stderr, "fdcampaign: %d conformance violation(s):\n", violations)
+		for _, g := range report.Groups {
+			if len(g.Violations) > 0 {
+				fmt.Fprintf(os.Stderr, "  %s: %s (%d/%d conformant)\n",
+					g.Key, strings.Join(g.Violations, ","), g.Conformant, g.Instances-g.Errors)
+			}
+		}
+		if *strict {
+			os.Exit(2)
 		}
 	}
 }

@@ -22,35 +22,78 @@ import (
 	"repro/internal/sim"
 )
 
-// Filter transforms the outbox of a wrapped process each round.
+// Filter transforms the outbox of a wrapped process each round. A Filter
+// is the stateless special case of Behavior: it never buffers messages
+// across rounds.
 type Filter func(round int, out []model.Message) []model.Message
 
-// Wrapped runs an inner process and applies a chain of filters to every
+// Apply implements Behavior.
+func (f Filter) Apply(round int, out []model.Message) []model.Message { return f(round, out) }
+
+// Holding implements Behavior; a plain Filter never buffers messages.
+func (Filter) Holding() bool { return false }
+
+// Behavior is a composable outbox transformer with observable buffering
+// state: the strategy layer's unit of composition. Filter implements it
+// for the stateless cases; stateful behaviors (Delayer) report through
+// Holding whether they still hold messages that have not been released,
+// which keeps the wrapping process alive (Finished() == false) until the
+// buffered traffic has drained.
+type Behavior interface {
+	// Apply transforms one round's outbox, exactly like Filter.
+	Apply(round int, out []model.Message) []model.Message
+	// Holding reports whether the behavior buffers messages that later
+	// Apply calls will still release.
+	Holding() bool
+}
+
+// Wrapped runs an inner process and applies a chain of behaviors to every
 // outbox. The inner process's inbox is untouched: a Byzantine node sees
 // everything sent to it.
 type Wrapped struct {
-	inner   sim.Process
-	filters []Filter
+	inner     sim.Process
+	behaviors []Behavior
 }
 
 var _ sim.Process = (*Wrapped)(nil)
 
 // Wrap builds a filtered process. Filters apply in order.
 func Wrap(inner sim.Process, filters ...Filter) *Wrapped {
-	return &Wrapped{inner: inner, filters: filters}
+	behaviors := make([]Behavior, len(filters))
+	for i, f := range filters {
+		behaviors[i] = f
+	}
+	return WrapBehaviors(inner, behaviors...)
+}
+
+// WrapBehaviors builds a process whose outbox passes through the given
+// behavior stack in order. Use it over Wrap when the stack contains
+// stateful behaviors (Delayer): their Holding state is what keeps the
+// wrapped process unfinished until every buffered message is released.
+func WrapBehaviors(inner sim.Process, behaviors ...Behavior) *Wrapped {
+	return &Wrapped{inner: inner, behaviors: behaviors}
 }
 
 // Step implements sim.Process.
 func (w *Wrapped) Step(round int, received []model.Message) []model.Message {
 	out := w.inner.Step(round, received)
-	for _, f := range w.filters {
-		out = f(round, out)
+	for _, b := range w.behaviors {
+		out = b.Apply(round, out)
 	}
 	return out
 }
 
-// Finished implements sim.Finisher by delegating to the inner process.
+// Finished implements sim.Finisher: done only when the inner process is
+// done AND no behavior still buffers undelivered messages. The engine
+// therefore keeps stepping a finished inner process while a Delayer holds
+// traffic, which is the flush path that stops delayed messages from being
+// silently dropped when the inner protocol completes early.
 func (w *Wrapped) Finished() bool {
+	for _, b := range w.behaviors {
+		if b.Holding() {
+			return false
+		}
+	}
 	if f, ok := w.inner.(sim.Finisher); ok {
 		return f.Finished()
 	}
@@ -135,24 +178,102 @@ func DuplicateTo(extra model.NodeID) Filter {
 	}
 }
 
-// DelayBy holds every outgoing message back `rounds` rounds before
-// releasing it: in a synchronous protocol a late message is exactly as
-// much of a deviation as a forged one, and receivers must treat it so.
-func DelayBy(rounds int) Filter {
-	held := make(map[int][]model.Message)
-	return func(round int, out []model.Message) []model.Message {
-		held[round+rounds] = append(held[round+rounds], out...)
-		release := held[round]
-		delete(held, round)
-		return release
-	}
+// Delayer holds every outgoing message back a fixed number of rounds
+// before releasing it: in a synchronous protocol a late message is
+// exactly as much of a deviation as a forged one, and receivers must
+// treat it so.
+//
+// A Delayer is stateful: Holding reports buffered traffic, so a process
+// wrapped via WrapBehaviors stays unfinished until the last held message
+// is released — the engine keeps stepping it and the messages flush
+// instead of being dropped when the inner protocol completes early.
+// Messages still held when the engine's round bound expires ARE lost:
+// delivery past the protocol deadline has no meaning in the synchronous
+// model, and the silence is itself discoverable by receivers.
+type Delayer struct {
+	rounds int
+	held   map[int][]model.Message
 }
+
+var _ Behavior = (*Delayer)(nil)
+
+// DelayBy builds a Delayer that releases each round's outbox `rounds`
+// rounds later.
+func DelayBy(rounds int) *Delayer {
+	return &Delayer{rounds: rounds, held: make(map[int][]model.Message)}
+}
+
+// Apply implements Behavior: it buffers this round's outbox and releases
+// the messages that were due this round.
+func (d *Delayer) Apply(round int, out []model.Message) []model.Message {
+	if len(out) > 0 {
+		d.held[round+d.rounds] = append(d.held[round+d.rounds], out...)
+	}
+	release := d.held[round]
+	delete(d.held, round)
+	return release
+}
+
+// Holding implements Behavior: true while any message awaits release.
+func (d *Delayer) Holding() bool { return len(d.held) > 0 }
 
 // InjectAt adds fabricated messages to the outbox of the given round.
 func InjectAt(round int, msgs ...model.Message) Filter {
 	return func(r int, out []model.Message) []model.Message {
 		if r == round {
 			return append(out, msgs...)
+		}
+		return out
+	}
+}
+
+// FloodTo appends, for each victim in order, one copy of every message
+// in the original outbox. Unlike stacking one DuplicateTo per victim —
+// where each later filter re-copies the duplicates the earlier ones just
+// appended, giving victim k 2^(k-1) copies — every victim receives
+// exactly one copy of each original message.
+func FloodTo(victims []model.NodeID) Filter {
+	return func(_ int, out []model.Message) []model.Message {
+		orig := len(out)
+		for _, v := range victims {
+			for i := 0; i < orig; i++ {
+				cp := out[i]
+				cp.To = v
+				out = append(out, cp)
+			}
+		}
+		return out
+	}
+}
+
+// TamperAll rewrites the payload of every outgoing message regardless of
+// kind. Each mutation receives its own copy, so the original buffers are
+// never shared — important when a protocol broadcasts one payload slice
+// to many recipients.
+func TamperAll(mutate func([]byte) []byte) Filter {
+	return func(_ int, out []model.Message) []model.Message {
+		for i := range out {
+			cp := append([]byte(nil), out[i].Payload...)
+			out[i].Payload = mutate(cp)
+		}
+		return out
+	}
+}
+
+// TwoFaced models a node that shows different faces to different peers:
+// messages to faceOne pass untouched while messages to everyone else have
+// their payload rewritten through mutate (on a private copy). It is the
+// generic equivocation primitive for corrupt nodes without a bespoke
+// equivocating process — a two-faced relay's second face is a payload no
+// failure-free run produces, so receivers on that side can discover it.
+func TwoFaced(faceOne model.NodeSet, mutate func([]byte) []byte) Filter {
+	return func(_ int, out []model.Message) []model.Message {
+		for i := range out {
+			if faceOne.Contains(out[i].To) {
+				continue
+			}
+			cp := append([]byte(nil), out[i].Payload...)
+			out[i].Payload = mutate(cp)
 		}
 		return out
 	}

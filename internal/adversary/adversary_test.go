@@ -112,3 +112,76 @@ func TestWrappedFinishedDelegation(t *testing.T) {
 		t.Error("non-Finisher wrapped should default to finished")
 	}
 }
+
+// TestWrappedUnfinishedWhileDelayerHolds pins the flush-on-finish
+// contract: a finished inner process stays unfinished while its Delayer
+// buffers messages, and finishes once the buffer drains.
+func TestWrappedUnfinishedWhileDelayerHolds(t *testing.T) {
+	d := DelayBy(2)
+	w := WrapBehaviors(sim.ProcessFunc(func(round int, _ []model.Message) []model.Message {
+		if round == 1 {
+			return []model.Message{{To: 1, Payload: []byte("late")}}
+		}
+		return nil
+	}), d)
+	if got := w.Step(1, nil); len(got) != 0 {
+		t.Fatalf("round 1 leaked %v", got)
+	}
+	if w.Finished() {
+		t.Fatal("wrapped process finished while the delayer holds a message")
+	}
+	if got := w.Step(2, nil); len(got) != 0 {
+		t.Fatalf("round 2 released early: %v", got)
+	}
+	got := w.Step(3, nil)
+	if len(got) != 1 || string(got[0].Payload) != "late" {
+		t.Fatalf("round 3 = %v, want the held message", got)
+	}
+	if !w.Finished() {
+		t.Fatal("wrapped process still unfinished after the buffer drained")
+	}
+}
+
+// TestDelayedMessagesFlushThroughEngine runs a delayed sender under the
+// real engine: the inner process finishes in round 1, but the engine
+// keeps stepping the wrapper (Finished is false while holding) until the
+// delayed message lands — it is delivered, not silently dropped.
+func TestDelayedMessagesFlushThroughEngine(t *testing.T) {
+	cfg := model.Config{N: 2, T: 0}
+	var delivered []model.Message
+	sender := sim.ProcessFunc(func(round int, _ []model.Message) []model.Message {
+		if round == 1 {
+			return []model.Message{{To: 1, Kind: model.KindPlainValue, Payload: []byte("v")}}
+		}
+		return nil
+	})
+	receiver := sim.ProcessFunc(func(round int, received []model.Message) []model.Message {
+		delivered = append(delivered, received...)
+		return nil
+	})
+	procs := []sim.Process{WrapBehaviors(sender, DelayBy(3)), receiver}
+	res, err := sim.RunInstance(cfg, procs, 10)
+	if err != nil {
+		t.Fatalf("RunInstance: %v", err)
+	}
+	if len(delivered) != 1 || string(delivered[0].Payload) != "v" {
+		t.Fatalf("delivered = %v, want the delayed message", delivered)
+	}
+	// Held in round 1, released in round 4, delivered in round 5.
+	if delivered[0].Round != 4 {
+		t.Errorf("delayed message stamped round %d, want 4", delivered[0].Round)
+	}
+	if res.Rounds >= 10 {
+		t.Errorf("engine ran to the bound (%d rounds); it should stop after the flush", res.Rounds)
+	}
+	// Messages still held when the round bound expires are dropped — the
+	// documented truncation at the protocol deadline.
+	delivered = nil
+	procs = []sim.Process{WrapBehaviors(sender, DelayBy(5)), receiver}
+	if _, err := sim.RunInstance(cfg, procs, 3); err != nil {
+		t.Fatalf("RunInstance: %v", err)
+	}
+	if len(delivered) != 0 {
+		t.Fatalf("deadline-expired delay still delivered %v", delivered)
+	}
+}

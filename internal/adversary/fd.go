@@ -24,14 +24,31 @@ type EquivocatingSender struct {
 	cfg    model.Config
 	signer sig.Signer
 	v1, v2 []byte
-	// splitAt partitions recipients for the t=0 dissemination case: nodes
-	// below splitAt get v1, the rest v2.
-	splitAt model.NodeID
+	// faceOne holds the recipients shown v1 in the t=0 dissemination case;
+	// everyone else is shown v2.
+	faceOne model.NodeSet
 }
 
-// NewEquivocatingSender builds the faulty sender.
+// NewEquivocatingSender builds the faulty sender; for the t=0 split,
+// nodes below splitAt receive v1 and the rest v2.
 func NewEquivocatingSender(cfg model.Config, signer sig.Signer, v1, v2 []byte, splitAt model.NodeID) *EquivocatingSender {
-	return &EquivocatingSender{cfg: cfg, signer: signer, v1: v1, v2: v2, splitAt: splitAt}
+	return NewEquivocatingSenderFaces(cfg, signer, v1, v2, splitBelow(cfg.N, splitAt))
+}
+
+// NewEquivocatingSenderFaces builds the faulty sender with an arbitrary
+// two-faced partition: faceOne receives v1, its complement v2.
+func NewEquivocatingSenderFaces(cfg model.Config, signer sig.Signer, v1, v2 []byte, faceOne model.NodeSet) *EquivocatingSender {
+	return &EquivocatingSender{cfg: cfg, signer: signer, v1: v1, v2: v2, faceOne: faceOne}
+}
+
+// splitBelow is the legacy partition form: nodes below splitAt make up
+// face one.
+func splitBelow(n int, splitAt model.NodeID) model.NodeSet {
+	faceOne := model.NewNodeSet()
+	for id := model.NodeID(0); id < splitAt && int(id) < n; id++ {
+		faceOne.Add(id)
+	}
+	return faceOne
 }
 
 // Step implements sim.Process.
@@ -55,7 +72,7 @@ func (a *EquivocatingSender) Step(round int, _ []model.Message) []model.Message 
 				continue
 			}
 			payload := c1.Marshal()
-			if to >= a.splitAt {
+			if !a.faceOne.Contains(to) {
 				payload = c2.Marshal()
 			}
 			out = append(out, model.Message{To: to, Kind: model.KindChainValue, Payload: payload})
@@ -184,13 +201,19 @@ func (a *LyingEchoer) Finished() bool { return true }
 type EquivocatingPlainSender struct {
 	cfg     model.Config
 	v1, v2  []byte
-	splitAt model.NodeID
+	faceOne model.NodeSet
 }
 
 // NewEquivocatingPlainSender builds the faulty sender; nodes below splitAt
 // receive v1, the rest v2.
 func NewEquivocatingPlainSender(cfg model.Config, v1, v2 []byte, splitAt model.NodeID) *EquivocatingPlainSender {
-	return &EquivocatingPlainSender{cfg: cfg, v1: v1, v2: v2, splitAt: splitAt}
+	return NewEquivocatingPlainSenderFaces(cfg, v1, v2, splitBelow(cfg.N, splitAt))
+}
+
+// NewEquivocatingPlainSenderFaces builds the faulty sender with an
+// arbitrary two-faced partition: faceOne receives v1, its complement v2.
+func NewEquivocatingPlainSenderFaces(cfg model.Config, v1, v2 []byte, faceOne model.NodeSet) *EquivocatingPlainSender {
+	return &EquivocatingPlainSender{cfg: cfg, v1: v1, v2: v2, faceOne: faceOne}
 }
 
 // Step implements sim.Process.
@@ -204,7 +227,7 @@ func (a *EquivocatingPlainSender) Step(round int, _ []model.Message) []model.Mes
 			continue
 		}
 		payload := a.v1
-		if to >= a.splitAt {
+		if !a.faceOne.Contains(to) {
 			payload = a.v2
 		}
 		out = append(out, model.Message{To: to, Kind: model.KindPlainValue, Payload: payload})

@@ -1,0 +1,113 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/adversary"
+)
+
+// Adversary resolution: a Spec names its fault mixes either as strings in
+// Adversaries — legacy aliases ("crash-relay") or the compact strategy
+// syntax ("coalition:size=2,behavior=equivocate,partition=even-odd") —
+// or as structured adversary.Strategy values in AdversarySpecs. Both
+// resolve into the same ordered []adversary.Strategy, each carrying a
+// unique deterministic name that becomes the instance group key.
+
+// aliasStrategy maps the legacy adversary names onto their strategy
+// equivalents. The aliases are exact: they corrupt the same nodes and
+// produce the same wire traffic the hard-coded mixes did.
+func aliasStrategy(name string) (adversary.Strategy, bool) {
+	switch name {
+	case AdvNone:
+		return adversary.Strategy{Name: AdvNone}, true
+	case AdvCrashSender:
+		return adversary.Strategy{
+			Name:      AdvCrashSender,
+			Nodes:     []int{0},
+			Behaviors: []adversary.BehaviorSpec{{Name: adversary.BehaviorCrash}},
+		}, true
+	case AdvCrashRelay:
+		return adversary.Strategy{
+			Name:      AdvCrashRelay,
+			Nodes:     []int{1},
+			Behaviors: []adversary.BehaviorSpec{{Name: adversary.BehaviorCrash}},
+		}, true
+	case AdvEquivocate:
+		return adversary.Strategy{
+			Name:      AdvEquivocate,
+			Nodes:     []int{0},
+			Behaviors: []adversary.BehaviorSpec{{Name: adversary.BehaviorEquivocate, Partition: adversary.PartitionHalves}},
+		}, true
+	}
+	return adversary.Strategy{}, false
+}
+
+// ParseAdversary resolves one Adversaries entry: a legacy alias name or
+// the compact strategy syntax (adversary.ParseStrategy). The result is
+// always named (explicit name= or the canonical rendering).
+func ParseAdversary(s string) (adversary.Strategy, error) {
+	if strat, ok := aliasStrategy(s); ok {
+		return strat, nil
+	}
+	strat, err := adversary.ParseStrategy(s)
+	if err != nil {
+		return adversary.Strategy{}, fmt.Errorf("campaign: %w", err)
+	}
+	if strat.Name == "" {
+		strat.Name = strat.CanonicalName()
+	}
+	return strat, nil
+}
+
+// SplitAdversaryList splits a flag value into adversary entries. The
+// strategy syntax uses commas internally, so multiple entries separate on
+// ";" when one is present; otherwise a value containing ":" is a single
+// strategy and anything else splits on "," (the legacy alias-list form).
+func SplitAdversaryList(s string) []string {
+	sep := ","
+	if strings.Contains(s, ";") {
+		sep = ";"
+	} else if strings.Contains(s, ":") {
+		return []string{strings.TrimSpace(s)}
+	}
+	var out []string
+	for _, part := range strings.Split(s, sep) {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// resolveAdversaries returns the spec's adversary list in deterministic
+// order — Adversaries entries first, then AdversarySpecs — with every
+// strategy validated and named (explicit Name or CanonicalName). Names
+// must be unique: they key the aggregation groups.
+func (s Spec) resolveAdversaries() ([]adversary.Strategy, error) {
+	var out []adversary.Strategy
+	for _, a := range s.Adversaries {
+		strat, err := ParseAdversary(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, strat)
+	}
+	for _, strat := range s.AdversarySpecs {
+		if err := strat.Validate(); err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		out = append(out, strat)
+	}
+	seen := make(map[string]bool, len(out))
+	for i := range out {
+		if out[i].Name == "" {
+			out[i].Name = out[i].CanonicalName()
+		}
+		if seen[out[i].Name] {
+			return nil, fmt.Errorf("campaign: duplicate adversary name %q", out[i].Name)
+		}
+		seen[out[i].Name] = true
+	}
+	return out, nil
+}

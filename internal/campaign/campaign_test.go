@@ -7,21 +7,35 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/adversary"
 	"repro/internal/fd"
 	"repro/internal/sig"
 )
 
 // toySpec returns a sweep sized for tests: ≥ 100 instances across two
-// protocols under the fast toy scheme.
+// protocols under the fast toy scheme. The adversaries span the legacy
+// aliases, the compact strategy syntax, and the structured AdversarySpecs
+// block — a seeded coalition with delayed delivery among them — so the
+// differential tests cover the whole resolution surface.
 func toySpec() Spec {
 	return Spec{
-		Name:        "test-sweep",
-		Protocols:   []string{ProtoChain, ProtoNonAuth},
-		Sizes:       []int{4, 6},
-		Schemes:     []string{sig.SchemeToy},
-		Adversaries: []string{AdvNone, AdvCrashRelay},
-		SeedBase:    7,
-		SeedCount:   13,
+		Name:      "test-sweep",
+		Protocols: []string{ProtoChain, ProtoNonAuth},
+		Sizes:     []int{4, 6},
+		Schemes:   []string{sig.SchemeToy},
+		Adversaries: []string{
+			AdvNone,
+			AdvCrashRelay,
+			"coalition:size=1,behavior=delay,delay=2",
+		},
+		AdversarySpecs: []adversary.Strategy{
+			{Nodes: []int{1}, Behaviors: []adversary.BehaviorSpec{
+				{Name: adversary.BehaviorDuplicate, Victims: []int{0}},
+				{Name: adversary.BehaviorTamper},
+			}},
+		},
+		SeedBase:  7,
+		SeedCount: 13,
 	}
 }
 
@@ -50,6 +64,67 @@ func TestSpecValidate(t *testing.T) {
 	}
 }
 
+func TestParseSpecAdversarySpecsJSON(t *testing.T) {
+	s, err := ParseSpec([]byte(`{
+		"name": "json-strategies",
+		"protocols": ["chain"],
+		"sizes": [7],
+		"adversaries": ["none", "coalition:size=1,behavior=delay,delay=2"],
+		"adversary_specs": [
+			{"coalition": 2, "behaviors": [{"behavior": "equivocate", "partition": "even-odd"}]},
+			{"name": "flood", "nodes": [1], "behaviors": [{"behavior": "duplicate", "victims": [0, 2]}]}
+		],
+		"seed_count": 2
+	}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	insts, err := Expand(s)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	names := map[string]bool{}
+	for _, inst := range insts {
+		names[inst.Adversary] = true
+	}
+	for _, want := range []string{"none", "coalition-1.delay-2", "coalition-2.equivocate-even-odd", "flood"} {
+		if !names[want] {
+			t.Errorf("expanded adversaries %v missing %q", names, want)
+		}
+	}
+	// Malformed structured specs fail loudly.
+	if _, err := ParseSpec([]byte(`{
+		"protocols": ["chain"], "sizes": [6],
+		"adversary_specs": [{"coalition": 2, "behaviors": [{"behavior": "warp"}]}]
+	}`)); err == nil {
+		t.Error("unknown behavior in adversary_specs accepted")
+	}
+	// Duplicate resolved names collide.
+	if _, err := ParseSpec([]byte(`{
+		"protocols": ["chain"], "sizes": [6],
+		"adversaries": ["crash-relay"],
+		"adversary_specs": [{"name": "crash-relay", "nodes": [2], "behaviors": [{"behavior": "crash"}]}]
+	}`)); err == nil {
+		t.Error("duplicate adversary names accepted")
+	}
+}
+
+func TestSplitAdversaryList(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+	}{
+		{"none,crash-relay", []string{"none", "crash-relay"}},
+		{"coalition:size=2,behavior=equivocate", []string{"coalition:size=2,behavior=equivocate"}},
+		{"none;coalition:size=2,behavior=equivocate; relay:behavior=tamper",
+			[]string{"none", "coalition:size=2,behavior=equivocate", "relay:behavior=tamper"}},
+	} {
+		if got := SplitAdversaryList(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SplitAdversaryList(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
 func TestParseSpecRejectsUnknownFields(t *testing.T) {
 	if _, err := ParseSpec([]byte(`{"name":"x","protocols":["chain"],"sizes":[4],"worker_count":8}`)); err == nil {
 		t.Error("ParseSpec accepted an unknown field; typos must fail loudly")
@@ -73,8 +148,8 @@ func TestExpandDeterministicAndComplete(t *testing.T) {
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("two expansions of the same spec differ")
 	}
-	// 2 protocols × 2 sizes × 1 scheme × 2 adversaries × 13 seeds.
-	if want := 2 * 2 * 2 * 13; len(a) != want {
+	// 2 protocols × 2 sizes × 1 scheme × 4 adversaries × 13 seeds.
+	if want := 2 * 2 * 4 * 13; len(a) != want {
 		t.Fatalf("expanded %d instances, want %d", len(a), want)
 	}
 	protos := map[string]int{}
@@ -242,8 +317,8 @@ func TestReportWorkerCountInvariance(t *testing.T) {
 		t.Fatal("aggregate JSON differs between 1 and 8 workers; the campaign lost its determinism guarantee")
 	}
 	// The report must actually contain aggregates, not vacuous output.
-	if len(rep1.Groups) != 8 {
-		t.Errorf("got %d groups, want 8", len(rep1.Groups))
+	if len(rep1.Groups) != 16 {
+		t.Errorf("got %d groups, want 16", len(rep1.Groups))
 	}
 	for _, g := range rep1.Groups {
 		if g.Errors != 0 {
@@ -255,6 +330,16 @@ func TestReportWorkerCountInvariance(t *testing.T) {
 		if g.Protocol == ProtoChain && g.Adversary == AdvNone && g.Messages.Mean != float64(g.N-1) {
 			t.Errorf("group %s: mean messages %v, want n-1", g.Key, g.Messages.Mean)
 		}
+		// The conformance section must be populated and clean: the whole
+		// grid — aliases, strategy syntax, and structured specs alike —
+		// is a passed property test.
+		if g.Conformant != g.Instances || len(g.Violations) != 0 {
+			t.Errorf("group %s: %d/%d conformant, violations %v",
+				g.Key, g.Conformant, g.Instances, g.Violations)
+		}
+	}
+	if rep1.Violations() != 0 {
+		t.Errorf("report records %d violations", rep1.Violations())
 	}
 }
 

@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 
+	"repro/internal/adversary"
 	"repro/internal/model"
 )
 
@@ -24,8 +25,13 @@ type Instance struct {
 	// Scheme is the signature-scheme registry name ("" for protocols
 	// that use no signatures).
 	Scheme string `json:"scheme,omitempty"`
-	// Adversary is one of the Adv* names.
+	// Adversary names the fault mix; it doubles as the group-key field.
+	// Expansion sets it to the resolved strategy's name.
 	Adversary string `json:"adversary"`
+	// Strategy is the resolved composable adversary. Hand-built instances
+	// may leave it zero and set Adversary to an alias name or compact
+	// strategy syntax instead; runInstance resolves either form.
+	Strategy adversary.Strategy `json:"strategy"`
 	// Seed drives every per-run random choice inside the instance
 	// (handshake nonces).
 	Seed int64 `json:"seed"`
@@ -61,36 +67,44 @@ func usesSignatures(protocol string) bool {
 	return true
 }
 
-// supports reports whether the (protocol, n, t, adversary) combination
-// is expressible. Skipped combinations are documented here, in one
-// place, so expansion stays a pure function of the Spec:
+// supports reports whether the (protocol, n, t, strategy) combination is
+// expressible. Skipped combinations are documented here, in one place, so
+// expansion stays a pure function of the Spec. The rules depend only on
+// the configuration, never on a seed — a coalition's membership varies
+// per seed, so coalition rules are stated over the size, not the members:
 //
 //   - every protocol needs the model's basic sanity (2 ≤ n, 0 ≤ t < n);
 //   - eig (OM(t)) additionally needs n > 3t and n ≤ 256;
-//   - any adversary needs t ≥ 1 (a fault outside the bound proves nothing);
+//   - any adversary needs t ≥ 1 (a fault outside the bound proves nothing)
+//     and a corrupt set of at most t nodes, all with valid IDs;
+//   - a strategy that can corrupt a non-sender node (any coalition, or a
+//     fixed set naming one) needs n ≥ 3 so P_1 is never the only other
+//     node — the generalization of the old crash-relay rule;
 //   - equivocate needs a distinguished sender with a value range wider
 //     than the protocol's silence encoding: chain, nonauth, and eig
-//     qualify; smallrange (one bit) and vector (all nodes send) do not;
-//   - crash-relay needs n ≥ 3 so P_1 is not the only other node.
-func supports(protocol string, n, t int, adversary string) bool {
+//     qualify; smallrange (one bit) and vector (all nodes send) do not.
+func supports(protocol string, n, t int, strat adversary.Strategy) bool {
 	if err := (model.Config{N: n, T: t}).Validate(); err != nil {
 		return false
 	}
 	if protocol == ProtoEIG && (n <= 3*t || n > 256) {
 		return false
 	}
-	if adversary != AdvNone && t < 1 {
+	if strat.IsHonest() {
+		return true
+	}
+	if t < 1 {
 		return false
 	}
-	switch adversary {
-	case AdvEquivocate:
-		if protocol == ProtoSmallRange || protocol == ProtoVector {
-			return false
-		}
-	case AdvCrashRelay:
-		if n < 3 {
-			return false
-		}
+	if strat.CorruptSize() > t || strat.MaxFixedNode() >= n {
+		return false
+	}
+	if strat.CorruptsNonSender() && n < 3 {
+		return false
+	}
+	if strat.HasBehavior(adversary.BehaviorEquivocate) &&
+		(protocol == ProtoSmallRange || protocol == ProtoVector) {
+		return false
 	}
 	return true
 }
@@ -138,6 +152,10 @@ func Expand(spec Spec) ([]Instance, error) {
 		return nil, err
 	}
 	spec = spec.withDefaults()
+	strategies, err := spec.resolveAdversaries()
+	if err != nil {
+		return nil, err
+	}
 	var out []Instance
 	for _, protocol := range spec.Protocols {
 		schemes := spec.Schemes
@@ -146,8 +164,8 @@ func Expand(spec Spec) ([]Instance, error) {
 		}
 		for _, c := range spec.cases() {
 			for _, scheme := range schemes {
-				for _, adv := range spec.Adversaries {
-					if !supports(protocol, c.N, c.T, adv) {
+				for _, strat := range strategies {
+					if !supports(protocol, c.N, c.T, strat) {
 						continue
 					}
 					for s := 0; s < spec.SeedCount; s++ {
@@ -157,7 +175,8 @@ func Expand(spec Spec) ([]Instance, error) {
 							N:         c.N,
 							T:         c.T,
 							Scheme:    scheme,
-							Adversary: adv,
+							Adversary: strat.Name,
+							Strategy:  strat,
 							Seed:      spec.SeedBase + int64(s),
 							KeySeed:   spec.SeedBase,
 						})

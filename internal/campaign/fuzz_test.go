@@ -1,0 +1,78 @@
+package campaign
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/adversary"
+)
+
+// FuzzParseAdversary covers the campaign-level resolution of one
+// Adversaries entry: legacy aliases and the compact strategy syntax.
+// Malformed input must error, never panic; accepted strategies must be
+// expandable.
+func FuzzParseAdversary(f *testing.F) {
+	for _, seed := range []string{
+		AdvNone, AdvCrashSender, AdvCrashRelay, AdvEquivocate,
+		"coalition:size=2,behavior=equivocate,partition=even-odd",
+		"relay:behavior=delay,delay=2",
+		"nodes=1+2:behavior=drop,victims=0",
+		"gremlin", "none:extra", "coalition:size=99999999999999999999,behavior=crash",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		strat, err := ParseAdversary(input)
+		if err != nil {
+			return
+		}
+		// Accepted adversaries must expand cleanly in a spec.
+		spec := Spec{
+			Protocols:   []string{ProtoChain},
+			Cases:       []Case{{N: 6, T: 2}},
+			Adversaries: []string{input},
+			SeedCount:   1,
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseAdversary accepted %q but Spec.Validate rejects it: %v", input, err)
+		}
+		_ = strat.CanonicalName()
+	})
+}
+
+// FuzzAdversarySpecJSON covers the structured AdversarySpecs path: any
+// JSON that unmarshals into a strategy must either fail validation with
+// an error or expand without panicking.
+func FuzzAdversarySpecJSON(f *testing.F) {
+	for _, seed := range []string{
+		`{"coalition":2,"behaviors":[{"behavior":"equivocate","partition":"even-odd"}]}`,
+		`{"nodes":[1],"behaviors":[{"behavior":"delay","delay":2}]}`,
+		`{"nodes":[0],"behaviors":[{"behavior":"crash","round":-1}]}`,
+		`{"coalition":-5}`,
+		`{"behaviors":[{"behavior":"warp"}]}`,
+		`{}`,
+		`{"nodes":[1,1],"behaviors":[{"behavior":"crash"}]}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var strat adversary.Strategy
+		if err := json.Unmarshal(data, &strat); err != nil {
+			return
+		}
+		spec := Spec{
+			Protocols:      []string{ProtoChain},
+			Cases:          []Case{{N: 6, T: 2}},
+			AdversarySpecs: []adversary.Strategy{strat},
+			SeedCount:      1,
+		}
+		if err := spec.Validate(); err != nil {
+			return // invalid strategies must be caught here, not panic later
+		}
+		if _, err := Expand(spec); err != nil {
+			// A valid spec may still expand to zero instances (skip
+			// rules); that surfaces as an error, which is fine.
+			return
+		}
+	})
+}

@@ -45,6 +45,10 @@ type Result struct {
 	Bytes    int `json:"bytes"`
 	// SignedMessages counts the messages whose kind carries signatures.
 	SignedMessages int `json:"signed_messages"`
+	// Conformance is the instance's verdict against the paper's
+	// correctness predicates (see conformance.go); nil for errored
+	// instances.
+	Conformance *Verdict `json:"conformance,omitempty"`
 }
 
 // signedKinds are the message kinds that carry signature material.
@@ -105,8 +109,98 @@ func runInstance(inst Instance, cache *setupCache) Result {
 	}
 	if err != nil {
 		res.Err = err.Error()
+		res.Conformance = nil
 	}
 	return res
+}
+
+// strategy resolves the instance's adversary: the structured Strategy
+// when present (expansion always names it), otherwise the Adversary
+// string — a legacy alias or compact strategy syntax — so hand-built
+// instances keep working.
+func (inst Instance) strategy() (adversary.Strategy, error) {
+	if !inst.Strategy.IsHonest() || inst.Strategy.Name != "" {
+		return inst.Strategy, nil
+	}
+	if inst.Adversary == "" {
+		return adversary.Strategy{Name: AdvNone}, nil
+	}
+	return ParseAdversary(inst.Adversary)
+}
+
+// pureCrash reports a behavior stack equivalent to a from-the-start
+// crash. Such nodes run as sim.Silent — exactly what the legacy mixes
+// did, and cheaper than stepping a wrapped node whose every send is
+// dropped anyway.
+func pureCrash(specs []adversary.BehaviorSpec) bool {
+	return len(specs) == 1 && specs[0].Name == adversary.BehaviorCrash && specs[0].Round <= 1
+}
+
+// equivocatePartition returns the partition of the stack's first
+// equivocate behavior.
+func equivocatePartition(strat adversary.Strategy) string {
+	for _, b := range strat.Behaviors {
+		if b.Name == adversary.BehaviorEquivocate {
+			return b.Partition
+		}
+	}
+	return ""
+}
+
+// withoutEquivocate filters equivocate out of a behavior stack; used when
+// a bespoke two-faced process replaces the generic filter.
+func withoutEquivocate(specs []adversary.BehaviorSpec) []adversary.BehaviorSpec {
+	var out []adversary.BehaviorSpec
+	for _, b := range specs {
+		if b.Name != adversary.BehaviorEquivocate {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// clusterFaultOption builds the run option that corrupts node id under
+// the strategy for a cluster-backed protocol. An equivocating sender gets
+// the protocol's bespoke two-faced process (remaining behaviors wrap it);
+// a from-the-start crash runs silent; every other stack wraps the node's
+// correct process with the compiled behavior filters.
+func clusterFaultOption(inst Instance, c *core.Cluster, protocol core.Protocol,
+	strat adversary.Strategy, id model.NodeID) (core.RunOption, error) {
+	specs := strat.Behaviors
+	if id == fd.Sender && strat.HasBehavior(adversary.BehaviorEquivocate) {
+		faceOne, err := adversary.PartitionFaceOne(equivocatePartition(strat), inst.N)
+		if err != nil {
+			return nil, err
+		}
+		var sender sim.Process
+		if protocol == core.ProtocolNonAuth {
+			sender = adversary.NewEquivocatingPlainSenderFaces(c.Config(), campaignValue, campaignAltValue, faceOne)
+		} else {
+			signer, err := c.Signer(fd.Sender)
+			if err != nil {
+				return nil, err
+			}
+			sender = adversary.NewEquivocatingSenderFaces(c.Config(), signer, campaignValue, campaignAltValue, faceOne)
+		}
+		if rest := withoutEquivocate(specs); len(rest) > 0 {
+			behaviors, err := adversary.BuildBehaviors(rest, inst.N)
+			if err != nil {
+				return nil, err
+			}
+			sender = adversary.WrapBehaviors(sender, behaviors...)
+		}
+		return core.WithProcess(id, sender), nil
+	}
+	if pureCrash(specs) {
+		return core.WithProcess(id, sim.Silent{}), nil
+	}
+	behaviors, err := adversary.BuildBehaviors(specs, inst.N)
+	if err != nil {
+		return nil, err
+	}
+	return core.WithWrappedProcess(id, func(p sim.Process) sim.Process {
+		return adversary.WrapBehaviors(p, behaviors...)
+	}), nil
 }
 
 // runClusterInstance runs the core.Cluster-backed protocols (chain,
@@ -114,21 +208,27 @@ func runInstance(inst Instance, cache *setupCache) Result {
 func runClusterInstance(inst Instance, res *Result, cache *setupCache) error {
 	var protocol core.Protocol
 	value := campaignValue
+	maxRounds := fd.ChainEngineRounds(inst.T)
 	switch inst.Protocol {
 	case ProtoChain:
 		protocol = core.ProtocolChain
 	case ProtoNonAuth:
 		protocol = core.ProtocolNonAuth
+		maxRounds = fd.NonAuthEngineRounds(inst.T)
 	case ProtoSmallRange:
 		protocol = core.ProtocolSmallRange
 		value = []byte{1}
 	}
+	strat, err := inst.strategy()
+	if err != nil {
+		return err
+	}
+	faulty := strat.CorruptSet(inst.N, inst.Seed)
 	// nonauth ignores keys entirely, so its setup is free and skips the
 	// cache; the authenticated protocols reuse an established cluster when
 	// their (scheme, n, t, keySeed) cell is cached, paying keygen and the
 	// 3n(n−1)-message handshake once per cell instead of once per seed.
 	var c *core.Cluster
-	var err error
 	if cache != nil && protocol != core.ProtocolNonAuth {
 		c, err = cache.cluster(inst)
 		if err != nil {
@@ -142,24 +242,12 @@ func runClusterInstance(inst Instance, res *Result, cache *setupCache) error {
 		}
 	}
 	runOpts := []core.RunOption{core.WithProtocol(protocol)}
-	switch inst.Adversary {
-	case AdvCrashSender:
-		runOpts = append(runOpts, core.WithProcess(fd.Sender, sim.Silent{}))
-	case AdvCrashRelay:
-		runOpts = append(runOpts, core.WithProcess(1, sim.Silent{}))
-	case AdvEquivocate:
-		split := model.NodeID(inst.N / 2)
-		if protocol == core.ProtocolNonAuth {
-			runOpts = append(runOpts, core.WithProcess(fd.Sender,
-				adversary.NewEquivocatingPlainSender(c.Config(), campaignValue, campaignAltValue, split)))
-		} else {
-			signer, err := c.Signer(fd.Sender)
-			if err != nil {
-				return err
-			}
-			runOpts = append(runOpts, core.WithProcess(fd.Sender,
-				adversary.NewEquivocatingSender(c.Config(), signer, campaignValue, campaignAltValue, split)))
+	for _, id := range faulty.Sorted() {
+		opt, err := clusterFaultOption(inst, c, protocol, strat, id)
+		if err != nil {
+			return err
 		}
+		runOpts = append(runOpts, opt)
 	}
 	rep, err := c.RunFailureDiscovery(value, runOpts...)
 	if err != nil {
@@ -172,6 +260,7 @@ func runClusterInstance(inst Instance, res *Result, cache *setupCache) error {
 	res.SignedMessages = countSigned(rep.Snapshot)
 	res.Discovered = len(rep.Discoveries) > 0
 	res.Agreed = outcomesAgree(rep.Outcomes)
+	res.Conformance = evaluateOutcomes(inst, rep.Outcomes, faulty, fd.Sender, value, rep.Rounds, maxRounds)
 	return nil
 }
 
@@ -198,21 +287,10 @@ func outcomesAgree(outcomes []model.Outcome) bool {
 	return true
 }
 
-// faultyNodes returns the adversary mix's fault placement.
-func faultyNodes(adversary string) model.NodeSet {
-	switch adversary {
-	case AdvCrashSender, AdvEquivocate:
-		return model.NewNodeSet(0)
-	case AdvCrashRelay:
-		return model.NewNodeSet(1)
-	}
-	return model.NewNodeSet()
-}
-
 // runVectorInstance runs the all-senders vector composition: one honest
 // key distribution (the paper's once-amortized setup phase — reused from
 // the worker's cache when the cell is warm), then the vector round with
-// the adversary mix applied.
+// the adversary strategy applied.
 func runVectorInstance(inst Instance, res *Result, cache *setupCache) error {
 	cfg := model.Config{N: inst.N, T: inst.T}
 	var kdNodes []*keydist.Node
@@ -226,12 +304,16 @@ func runVectorInstance(inst Instance, res *Result, cache *setupCache) error {
 		return err
 	}
 
-	faulty := faultyNodes(inst.Adversary)
+	strat, err := inst.strategy()
+	if err != nil {
+		return err
+	}
+	faulty := strat.CorruptSet(inst.N, inst.Seed)
 	procs := make([]sim.Process, inst.N)
 	nodes := make([]*fd.VectorNode, inst.N)
 	for i := 0; i < inst.N; i++ {
 		id := model.NodeID(i)
-		if faulty.Contains(id) {
+		if faulty.Contains(id) && pureCrash(strat.Behaviors) {
 			procs[i] = sim.Silent{}
 			continue
 		}
@@ -240,11 +322,22 @@ func runVectorInstance(inst Instance, res *Result, cache *setupCache) error {
 		if err != nil {
 			return err
 		}
+		if faulty.Contains(id) {
+			// A corrupt node runs the correct protocol under its behavior
+			// stack; it reports no outcome (nodes[i] stays nil).
+			behaviors, err := adversary.BuildBehaviors(strat.Behaviors, inst.N)
+			if err != nil {
+				return err
+			}
+			procs[i] = adversary.WrapBehaviors(node, behaviors...)
+			continue
+		}
 		nodes[i] = node
 		procs[i] = node
 	}
 	counters := metrics.NewCounters()
-	simRes, err := sim.RunInstance(cfg, procs, fd.ChainEngineRounds(inst.T), sim.WithCounters(counters))
+	maxRounds := fd.ChainEngineRounds(inst.T)
+	simRes, err := sim.RunInstance(cfg, procs, maxRounds, sim.WithCounters(counters))
 	if err != nil {
 		return err
 	}
@@ -257,10 +350,13 @@ func runVectorInstance(inst Instance, res *Result, cache *setupCache) error {
 
 	// Agreement: every instance with a correct sender must be decided
 	// identically by every correct node; any discovery anywhere is
-	// recorded.
+	// recorded. Conformance evaluates each rotated sub-instance against
+	// F1–F3 and requires all of them to pass.
 	agreed := true
+	verdicts := make([]*Verdict, 0, inst.N)
 	for s := 0; s < inst.N; s++ {
 		sid := model.NodeID(s)
+		outcomes := make([]model.Outcome, 0, inst.N)
 		var first []byte
 		haveFirst := false
 		for _, node := range nodes {
@@ -268,6 +364,7 @@ func runVectorInstance(inst Instance, res *Result, cache *setupCache) error {
 				continue
 			}
 			out := node.Outcome(sid)
+			outcomes = append(outcomes, out)
 			if out.Discovery != nil {
 				res.Discovered = true
 			}
@@ -284,23 +381,26 @@ func runVectorInstance(inst Instance, res *Result, cache *setupCache) error {
 				agreed = false
 			}
 		}
+		initial := []byte(fmt.Sprintf("proposal-%d", s))
+		verdicts = append(verdicts,
+			evaluateOutcomes(inst, outcomes, faulty, sid, initial, simRes.Rounds, maxRounds))
 	}
 	res.Agreed = agreed
+	res.Conformance = mergeVerdicts(inst, verdicts)
 	return nil
 }
 
-// equivocateOral is the adversary filter for the eig equivocate mix: in
-// round 1 the faulty sender reports campaignValue to the lower half of
-// the nodes and campaignAltValue to the rest.
-func equivocateOral(n int) adversary.Filter {
-	split := model.NodeID(n / 2)
+// equivocateOral is the sender-side equivocation filter for eig: in
+// round 1 the faulty sender reports campaignValue to faceOne and
+// campaignAltValue to everyone else.
+func equivocateOral(faceOne model.NodeSet) adversary.Filter {
 	alt := ba.MarshalOralEntries([]ba.OralEntry{{Path: []model.NodeID{ba.Sender}, Value: campaignAltValue}})
 	return func(round int, out []model.Message) []model.Message {
 		if round != 1 {
 			return out
 		}
 		for i := range out {
-			if out[i].Kind == model.KindOral && out[i].To >= split {
+			if out[i].Kind == model.KindOral && !faceOne.Contains(out[i].To) {
 				out[i].Payload = alt
 			}
 		}
@@ -311,12 +411,17 @@ func equivocateOral(n int) adversary.Filter {
 // runEIGInstance runs the OM(t) baseline.
 func runEIGInstance(inst Instance, res *Result) error {
 	cfg := model.Config{N: inst.N, T: inst.T}
-	faulty := faultyNodes(inst.Adversary)
+	strat, err := inst.strategy()
+	if err != nil {
+		return err
+	}
+	faulty := strat.CorruptSet(inst.N, inst.Seed)
 	procs := make([]sim.Process, inst.N)
 	nodes := make([]*ba.EIGNode, inst.N)
 	for i := 0; i < inst.N; i++ {
 		id := model.NodeID(i)
-		if faulty.Contains(id) && inst.Adversary != AdvEquivocate {
+		corrupt := faulty.Contains(id)
+		if corrupt && pureCrash(strat.Behaviors) {
 			procs[i] = sim.Silent{}
 			continue
 		}
@@ -328,15 +433,38 @@ func runEIGInstance(inst Instance, res *Result) error {
 		if err != nil {
 			return err
 		}
-		if id == ba.Sender && inst.Adversary == AdvEquivocate {
-			procs[i] = adversary.Wrap(node, equivocateOral(inst.N))
-			continue // the two-faced sender's own decision does not count
+		if corrupt {
+			// A corrupt node runs OM(t) correctly under its behavior stack;
+			// its own decision does not count (nodes[i] stays nil). The
+			// sender's equivocation uses the oral-entry rewrite — a proper
+			// second face, not a tampered payload.
+			var stack []adversary.Behavior
+			if id == ba.Sender && strat.HasBehavior(adversary.BehaviorEquivocate) {
+				faceOne, err := adversary.PartitionFaceOne(equivocatePartition(strat), inst.N)
+				if err != nil {
+					return err
+				}
+				stack = append(stack, equivocateOral(faceOne))
+				rest, err := adversary.BuildBehaviors(withoutEquivocate(strat.Behaviors), inst.N)
+				if err != nil {
+					return err
+				}
+				stack = append(stack, rest...)
+			} else {
+				stack, err = adversary.BuildBehaviors(strat.Behaviors, inst.N)
+				if err != nil {
+					return err
+				}
+			}
+			procs[i] = adversary.WrapBehaviors(node, stack...)
+			continue
 		}
 		nodes[i] = node
 		procs[i] = node
 	}
 	counters := metrics.NewCounters()
-	simRes, err := sim.RunInstance(cfg, procs, ba.EIGEngineRounds(inst.T), sim.WithCounters(counters))
+	maxRounds := ba.EIGEngineRounds(inst.T)
+	simRes, err := sim.RunInstance(cfg, procs, maxRounds, sim.WithCounters(counters))
 	if err != nil {
 		return err
 	}
@@ -350,11 +478,17 @@ func runEIGInstance(inst Instance, res *Result) error {
 	agreed := true
 	var first []byte
 	haveFirst := false
-	for _, node := range nodes {
+	outcomes := make([]model.Outcome, 0, inst.N)
+	for i, node := range nodes {
 		if node == nil {
 			continue
 		}
 		d := node.Decision()
+		outcomes = append(outcomes, model.Outcome{
+			Node:    model.NodeID(i),
+			Decided: d.Value != nil,
+			Value:   d.Value,
+		})
 		if d.Value == nil {
 			agreed = false
 			continue
@@ -366,5 +500,6 @@ func runEIGInstance(inst Instance, res *Result) error {
 		}
 	}
 	res.Agreed = agreed && haveFirst
+	res.Conformance = evaluateOutcomes(inst, outcomes, faulty, ba.Sender, campaignValue, simRes.Rounds, maxRounds)
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/metrics"
@@ -27,6 +28,11 @@ type GroupSummary struct {
 	// AgreeRate and DiscoveryRate are fractions of the non-error runs.
 	AgreeRate     float64 `json:"agree_rate"`
 	DiscoveryRate float64 `json:"discovery_rate"`
+	// Conformant counts the non-error runs whose conformance verdict has
+	// no unexcused predicate failures; Violations lists the distinct
+	// violated predicates observed across the group's runs (sorted).
+	Conformant int      `json:"conformant"`
+	Violations []string `json:"violations,omitempty"`
 	// Distributions over the non-error runs.
 	Rounds         metrics.Dist `json:"rounds"`
 	CommRounds     metrics.Dist `json:"comm_rounds"`
@@ -132,15 +138,21 @@ func Run(spec Spec, workers int, opts ...Option) (*Report, error) {
 	return assemble(spec.withDefaults(), instances, results), nil
 }
 
+// groupCount accumulates one group's tallies during assembly.
+type groupCount struct {
+	total, errors, agreed, discovered, conformant int
+	violations                                    map[string]bool
+}
+
 // assemble streams the results, in instance order, through the metrics
 // aggregation layer and builds the report.
 func assemble(spec Spec, instances []Instance, results []Result) *Report {
 	sweep := metrics.NewSweep()
-	counts := make(map[string]*struct{ total, errors, agreed, discovered int })
+	counts := make(map[string]*groupCount)
 	for _, res := range results {
 		key := res.Group
 		if _, ok := counts[key]; !ok {
-			counts[key] = &struct{ total, errors, agreed, discovered int }{}
+			counts[key] = &groupCount{violations: make(map[string]bool)}
 		}
 		c := counts[key]
 		c.total++
@@ -153,6 +165,13 @@ func assemble(spec Spec, instances []Instance, results []Result) *Report {
 		}
 		if res.Discovered {
 			c.discovered++
+		}
+		if res.Conformance.Conformant() {
+			c.conformant++
+		} else if res.Conformance != nil {
+			for _, v := range res.Conformance.Violations {
+				c.violations[v] = true
+			}
 		}
 		sweep.Observe(key, "rounds", float64(res.Rounds))
 		sweep.Observe(key, "comm_rounds", float64(res.CommRounds))
@@ -187,6 +206,8 @@ func assemble(spec Spec, instances []Instance, results []Result) *Report {
 			Adversary:      inst.Adversary,
 			Instances:      c.total,
 			Errors:         c.errors,
+			Conformant:     c.conformant,
+			Violations:     sortedKeys(c.violations),
 			Rounds:         sweep.Dist(key, "rounds"),
 			CommRounds:     sweep.Dist(key, "comm_rounds"),
 			Messages:       sweep.Dist(key, "messages"),
@@ -202,19 +223,50 @@ func assemble(spec Spec, instances []Instance, results []Result) *Report {
 	return rep
 }
 
+// sortedKeys returns a map's keys in ascending order (nil when empty, so
+// the JSON field stays omitted).
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Violations counts the instances whose conformance verdict records at
+// least one unexcused predicate failure. A campaign with zero violations
+// is a passed property test over its whole grid.
+func (r *Report) Violations() int {
+	total := 0
+	for _, res := range r.Results {
+		if res.Err == "" && !res.Conformance.Conformant() {
+			total++
+		}
+	}
+	return total
+}
+
 // Table renders the per-group aggregates as a human table.
 func (r *Report) Table() *metrics.Table {
 	title := fmt.Sprintf("Campaign %q — %d instances, %d groups", r.Name, r.Instances, len(r.Groups))
 	tbl := metrics.NewTable(title,
 		"protocol", "n", "t", "scheme", "adversary", "runs", "errs",
-		"agree", "discover", "msgs mean", "msgs p99", "bytes mean", "rounds mean")
+		"agree", "discover", "conform", "msgs mean", "msgs p99", "bytes mean", "rounds mean")
 	for _, g := range r.Groups {
 		scheme := g.Scheme
 		if scheme == "" {
 			scheme = "-"
 		}
+		conform := 0.0
+		if ok := g.Instances - g.Errors; ok > 0 {
+			conform = float64(g.Conformant) / float64(ok)
+		}
 		tbl.AddRow(g.Protocol, g.N, g.T, scheme, g.Adversary, g.Instances, g.Errors,
-			g.AgreeRate, g.DiscoveryRate, g.Messages.Mean, g.Messages.P99,
+			g.AgreeRate, g.DiscoveryRate, conform, g.Messages.Mean, g.Messages.P99,
 			g.Bytes.Mean, g.Rounds.Mean)
 	}
 	return tbl

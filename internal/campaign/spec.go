@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/adversary"
 	"repro/internal/sig"
 )
 
@@ -44,11 +45,13 @@ const (
 	ProtoEIG = "eig"
 )
 
-// Adversary mix names accepted in Spec.Adversaries. Each names a
-// deterministic fault placement applied to the protocol phase (key
-// distribution, where a protocol needs it, always runs honestly — the
-// paper's setting: authentication is established once, failures happen
-// in later runs).
+// Legacy adversary alias names accepted in Spec.Adversaries, kept from
+// the era when these four were the whole vocabulary. Each resolves to a
+// composable adversary.Strategy (see aliasStrategy); arbitrary strategies
+// are declared with the compact syntax or the AdversarySpecs block. All
+// fault placements apply to the protocol phase only (key distribution,
+// where a protocol needs it, always runs honestly — the paper's setting:
+// authentication is established once, failures happen in later runs).
 const (
 	// AdvNone runs every node honestly.
 	AdvNone = "none"
@@ -92,20 +95,19 @@ type Spec struct {
 	// Protocols that use no signatures (nonauth, eig) run once under the
 	// first scheme rather than once per scheme.
 	Schemes []string `json:"schemes,omitempty"`
-	// Adversaries are fault mixes; empty means none. See the Adv* constants.
+	// Adversaries are fault mixes as strings: legacy alias names (the
+	// Adv* constants) or the compact strategy syntax
+	// ("coalition:size=2,behavior=equivocate,partition=even-odd", see
+	// adversary.ParseStrategy). Empty means none unless AdversarySpecs is
+	// set.
 	Adversaries []string `json:"adversaries,omitempty"`
+	// AdversarySpecs declares composable adversary strategies in
+	// structured form; they sweep after the Adversaries entries.
+	AdversarySpecs []adversary.Strategy `json:"adversary_specs,omitempty"`
 	// SeedBase is the base of the deterministic seed range.
 	SeedBase int64 `json:"seed_base"`
 	// SeedCount is how many seeded repetitions each configuration runs.
 	SeedCount int `json:"seed_count"`
-}
-
-// knownAdversaries is the accepted Adversaries vocabulary.
-var knownAdversaries = map[string]bool{
-	AdvNone:        true,
-	AdvCrashSender: true,
-	AdvCrashRelay:  true,
-	AdvEquivocate:  true,
 }
 
 // knownProtocols is the accepted Protocols vocabulary.
@@ -122,7 +124,7 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Schemes) == 0 {
 		s.Schemes = []string{sig.SchemeEd25519}
 	}
-	if len(s.Adversaries) == 0 {
+	if len(s.Adversaries) == 0 && len(s.AdversarySpecs) == 0 {
 		s.Adversaries = []string{AdvNone}
 	}
 	if s.SeedCount == 0 {
@@ -156,10 +158,8 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("campaign: size n=%d is below the 2-node minimum", n)
 		}
 	}
-	for _, a := range s.Adversaries {
-		if a != "" && !knownAdversaries[a] {
-			return fmt.Errorf("campaign: unknown adversary %q", a)
-		}
+	if _, err := s.resolveAdversaries(); err != nil {
+		return err
 	}
 	for _, name := range s.Schemes {
 		if _, err := sig.ByName(name); err != nil {

@@ -340,6 +340,7 @@ type RunOption func(*fdRun)
 type fdRun struct {
 	protocol  Protocol
 	overrides map[model.NodeID]sim.Process
+	wrappers  map[model.NodeID]func(sim.Process) sim.Process
 	defBit    byte
 }
 
@@ -354,6 +355,15 @@ func WithProcess(id model.NodeID, p sim.Process) RunOption {
 	return func(r *fdRun) { r.overrides[id] = p }
 }
 
+// WithWrappedProcess builds node id's protocol process as usual (honoring
+// a WithProcess override first) and runs wrap(process) in its place: the
+// composition hook for adversary.Wrap-style outbox filters over an
+// otherwise correct node. The wrapped node is treated as faulty — its
+// outcome is not collected, exactly as for WithProcess overrides.
+func WithWrappedProcess(id model.NodeID, wrap func(sim.Process) sim.Process) RunOption {
+	return func(r *fdRun) { r.wrappers[id] = wrap }
+}
+
 // WithSmallRangeDefault sets the silence-encoded bit for
 // ProtocolSmallRange runs.
 func WithSmallRangeDefault(d byte) RunOption {
@@ -365,7 +375,10 @@ func WithSmallRangeDefault(d byte) RunOption {
 // EstablishAuthentication to have run first; the non-authenticated
 // baseline does not.
 func (c *Cluster) RunFailureDiscovery(value []byte, opts ...RunOption) (Report, error) {
-	run := fdRun{overrides: make(map[model.NodeID]sim.Process)}
+	run := fdRun{
+		overrides: make(map[model.NodeID]sim.Process),
+		wrappers:  make(map[model.NodeID]func(sim.Process) sim.Process),
+	}
 	for _, opt := range opts {
 		opt(&run)
 	}
@@ -378,6 +391,9 @@ func (c *Cluster) RunFailureDiscovery(value []byte, opts ...RunOption) (Report, 
 	for i := 0; i < c.cfg.N; i++ {
 		id := model.NodeID(i)
 		if p, ok := run.overrides[id]; ok {
+			if wrap, ok := run.wrappers[id]; ok {
+				p = wrap(p)
+			}
 			procs[i] = p
 			continue
 		}
@@ -427,6 +443,10 @@ func (c *Cluster) RunFailureDiscovery(value []byte, opts ...RunOption) (Report, 
 		}
 		if err != nil {
 			return Report{}, fmt.Errorf("core: build %v node %v: %w", run.protocol, id, err)
+		}
+		if wrap, ok := run.wrappers[id]; ok {
+			p = wrap(p)
+			outcomers[i] = nil // wrapped nodes are faulty: no outcome obligation
 		}
 		procs[i] = p
 	}

@@ -99,10 +99,11 @@ func All(quick bool) []*metrics.Table {
 		E10Bytes(),
 		E11LocalAuthBA(runs),
 		E12VectorFD(sizes),
+		E13AdversaryGrid(runs / 20),
 	}
 }
 
-// ByID returns the tables for one experiment ID ("E1".."E12"), matching
+// ByID returns the tables for one experiment ID ("E1".."E13"), matching
 // the index in EXPERIMENTS.md.
 func ByID(id string, quick bool) ([]*metrics.Table, error) {
 	runs := 200
@@ -134,6 +135,8 @@ func ByID(id string, quick bool) ([]*metrics.Table, error) {
 		return []*metrics.Table{E11LocalAuthBA(runs)}, nil
 	case "E12":
 		return []*metrics.Table{E12VectorFD(sizes)}, nil
+	case "E13":
+		return []*metrics.Table{E13AdversaryGrid(runs / 20)}, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}

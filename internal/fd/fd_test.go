@@ -434,7 +434,7 @@ func TestChainDelayedRelayDiscovered(t *testing.T) {
 	// so the successor discovers — timing is part of the view.
 	f := newFixture(t, 6, 2, 11)
 	procs, nodes := f.chainProcs(t, []byte("v"))
-	procs[1] = adversary.Wrap(nodes[1], adversary.DelayBy(1))
+	procs[1] = adversary.WrapBehaviors(nodes[1], adversary.DelayBy(1))
 	nodes[1] = nil
 	// One extra engine round so the delayed message actually lands.
 	runFD(t, f.cfg, procs, fd.ChainEngineRounds(2)+1)

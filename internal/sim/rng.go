@@ -40,6 +40,20 @@ func KeyMaterialSeed(keySeed int64, node int) int64 {
 	return mix64(uint64(NodeSeed(keySeed, node)) ^ keyDomain)
 }
 
+// coalitionDomain separates the corrupt-set selection domain from the
+// run-entropy and key-material domains.
+const coalitionDomain uint64 = 0x636F616C6974696F // "coalitio"
+
+// CoalitionSeed derives the corrupt-set selection seed for a run seed: a
+// stream domain distinct from both run entropy (NodeSeed) and key
+// material (KeyMaterialSeed), so which nodes an adversary coalition
+// corrupts can never correlate with handshake nonces or keys drawn from
+// the same instance seed. Like KeyMaterialSeed, the domain tag is folded
+// in after a full mixing round.
+func CoalitionSeed(runSeed int64) int64 {
+	return mix64(uint64(mix64(uint64(runSeed))) ^ coalitionDomain)
+}
+
 // NodeSeed derives a distinct per-node seed from a run seed, so nodes get
 // independent deterministic streams.
 func NodeSeed(runSeed int64, node int) int64 {
