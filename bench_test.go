@@ -349,3 +349,10 @@ func BenchmarkCampaignChainSweep(b *testing.B) {
 	b.Run("cold/n=8_t=2_seeds=100", perfbench.CampaignChainSweep(8, 2, 100, false))
 	b.Run("warm/n=8_t=2_seeds=100", perfbench.CampaignChainSweep(8, 2, 100, true))
 }
+
+// BenchmarkCampaignFDBASweep is the same workload over the FDBA
+// agreement extension: identical setup cell, 2t+6-round agreement runs.
+func BenchmarkCampaignFDBASweep(b *testing.B) {
+	b.Run("cold/n=8_t=2_seeds=100", perfbench.CampaignFDBASweep(8, 2, 100, false))
+	b.Run("warm/n=8_t=2_seeds=100", perfbench.CampaignFDBASweep(8, 2, 100, true))
+}

@@ -49,8 +49,9 @@ type namedBench struct {
 // (cold and memoized), chain extension, a full EIG agreement at n=16,
 // authenticated failure-discovery runs with fresh values at n=16, the
 // keydist handshake (the setup cost that Reset and the campaign cache
-// amortize, plus its per-peer round-trip unit), and a 100-seed campaign
-// chain sweep with cold (per-instance) vs warm (cached) setup.
+// amortize, plus its per-peer round-trip unit), and 100-seed campaign
+// sweeps — chain FD and the FDBA agreement extension — with cold
+// (per-instance) vs warm (cached) setup.
 func perfSuite() []namedBench {
 	return []namedBench{
 		{"chain_verify_cold/hops=16", perfbench.ChainVerify(16, true)},
@@ -62,6 +63,8 @@ func perfSuite() []namedBench {
 		{"keydist_roundtrip/ed25519", perfbench.HandshakeRoundTrip(sig.SchemeEd25519)},
 		{"campaign_chain_sweep_cold/n=8_t=2_seeds=100", perfbench.CampaignChainSweep(8, 2, 100, false)},
 		{"campaign_chain_sweep_warm/n=8_t=2_seeds=100", perfbench.CampaignChainSweep(8, 2, 100, true)},
+		{"campaign_fdba_sweep_cold/n=8_t=2_seeds=100", perfbench.CampaignFDBASweep(8, 2, 100, false)},
+		{"campaign_fdba_sweep_warm/n=8_t=2_seeds=100", perfbench.CampaignFDBASweep(8, 2, 100, true)},
 	}
 }
 

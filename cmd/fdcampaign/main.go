@@ -4,11 +4,18 @@
 // × seed range, and the campaign engine executes the expanded instances
 // on a sharded worker pool and aggregates the outcomes.
 //
+// The protocol vocabulary is the driver registry (internal/protocol):
+// every registered driver — the five failure-discovery variants plus the
+// fdba and sm agreement protocols — sweeps through the same grid,
+// adversary strategies, setup-cache amortization, and conformance
+// gating. -list-protocols prints the registry.
+//
 // Usage:
 //
 //	fdcampaign                             # built-in demo grid, all CPUs
+//	fdcampaign -list-protocols             # registered drivers and their axes
 //	fdcampaign -spec sweep.json            # load a spec document
-//	fdcampaign -protocols chain,eig -sizes 4,7 -seeds 5
+//	fdcampaign -protocols chain,fdba,sm -sizes 4,7 -seeds 5
 //	fdcampaign -workers 1 -json out.json   # reproducible machine output
 //	fdcampaign -json -                     # JSON to stdout
 //	fdcampaign -setupcache=false           # regenerate all key material per
@@ -39,11 +46,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/protocol"
 	"repro/internal/sig"
 )
 
@@ -51,7 +60,8 @@ func main() {
 	var (
 		specPath    = flag.String("spec", "", "path to a JSON campaign spec (overrides the grid flags)")
 		name        = flag.String("name", "fdcampaign", "campaign name used in reports")
-		protocols   = flag.String("protocols", "chain,nonauth", "comma-separated protocols: chain,nonauth,smallrange,vector,eig")
+		protocols   = flag.String("protocols", "chain,nonauth", "comma-separated protocol driver names (see -list-protocols)")
+		listProtos  = flag.Bool("list-protocols", false, "print the registered protocol drivers and exit")
 		sizes       = flag.String("sizes", "4,8,16", "comma-separated system sizes n")
 		tols        = flag.String("tols", "", "comma-separated fault bounds t (empty = classical (n-1)/3 per size)")
 		schemes     = flag.String("schemes", sig.SchemeEd25519, "comma-separated signature schemes")
@@ -65,6 +75,11 @@ func main() {
 		strict      = flag.Bool("strict", false, "exit with status 2 when any instance violates a conformance predicate")
 	)
 	flag.Parse()
+
+	if *listProtos {
+		listProtocols(os.Stdout)
+		return
+	}
 
 	var (
 		spec campaign.Spec
@@ -139,6 +154,41 @@ func main() {
 		if *strict {
 			os.Exit(2)
 		}
+	}
+}
+
+// listProtocols renders the driver registry: one row per registered
+// protocol with its declared scheme use, setup-cache eligibility,
+// equivocation support, and (n, t) axis constraints.
+func listProtocols(w io.Writer) {
+	fmt.Fprintf(w, "%-12s %-9s %-12s %-11s %s\n",
+		"protocol", "schemes", "setup-cache", "equivocate", "axes")
+	for _, d := range protocol.Drivers() {
+		caps := d.Capabilities()
+		schemes := "unsigned"
+		if caps.UsesSignatures {
+			schemes = "signed"
+		}
+		cache := "fresh"
+		if caps.CacheableSetup {
+			cache = "cacheable"
+		}
+		equivocate := "no"
+		if caps.SupportsEquivocate {
+			equivocate = "yes"
+		}
+		var axes []string
+		if caps.RequiresSupermajority {
+			axes = append(axes, "n>3t")
+		}
+		if caps.MaxN > 0 {
+			axes = append(axes, fmt.Sprintf("n<=%d", caps.MaxN))
+		}
+		if len(axes) == 0 {
+			axes = append(axes, "any t<n")
+		}
+		fmt.Fprintf(w, "%-12s %-9s %-12s %-11s %s\n",
+			d.Name(), schemes, cache, equivocate, strings.Join(axes, ", "))
 	}
 }
 

@@ -6,6 +6,8 @@
 //
 //	fdsim -n 8 -t 2 -runs 3
 //	fdsim -n 16 -t 5 -protocol nonauth
+//	fdsim -n 8 -t 2 -protocol fdba          # FD→BA agreement extension
+//	fdsim -n 8 -t 2 -protocol sm            # SM(t) signed messages
 //	fdsim -n 8 -t 2 -fault silent-relay     # inject a fault
 //	fdsim -n 8 -t 2 -trace                  # log every delivered message
 package main
@@ -26,7 +28,7 @@ func main() {
 		n        = flag.Int("n", 8, "number of nodes")
 		t        = flag.Int("t", 2, "fault bound")
 		runs     = flag.Int("runs", 1, "failure-discovery runs after key distribution")
-		protocol = flag.String("protocol", "chain", "chain | nonauth | smallrange")
+		protocol = flag.String("protocol", "chain", "chain | nonauth | smallrange | fdba | sm")
 		scheme   = flag.String("scheme", "ed25519", "signature scheme")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		value    = flag.String("value", "example-value", "sender's initial value")
@@ -54,6 +56,10 @@ func run(n, t, runs int, protocol, scheme string, seed int64, value, fault strin
 	case "smallrange":
 		proto = core.ProtocolSmallRange
 		value = "\x01"
+	case "fdba":
+		proto = core.ProtocolFDBA
+	case "sm":
+		proto = core.ProtocolSM
 	default:
 		return fmt.Errorf("unknown protocol %q", protocol)
 	}

@@ -5,9 +5,13 @@
 //
 // The sweep reproduces the paper's central comparison as a *family* of
 // runs instead of single points: authenticated chain failure discovery
-// (n−1 messages) against the non-authenticated baseline ((t+1)(n−1))
-// and the OM(t) agreement baseline, each honest and under a crashed
-// relay, over several system sizes and seeds.
+// (n−1 messages) against the non-authenticated baseline ((t+1)(n−1)),
+// the OM(t) agreement baseline, and the two full agreement protocols —
+// FDBA (failure-free runs cost the same n−1 messages as chain FD) and
+// SM(t) (O(n²) always) — each honest and under a crashed relay, over
+// several system sizes and seeds. Every protocol here is a registered
+// driver (internal/protocol); see examples/customdriver for how to add
+// one of your own to the same grid.
 //
 // Run with: go run ./examples/campaign
 package main
@@ -25,8 +29,9 @@ func main() {
 	// data, and the same document could be loaded from JSON (see
 	// campaign.LoadSpec / cmd/fdcampaign -spec).
 	spec := campaign.Spec{
-		Name:        "walkthrough",
-		Protocols:   []string{campaign.ProtoChain, campaign.ProtoNonAuth, campaign.ProtoEIG},
+		Name: "walkthrough",
+		Protocols: []string{campaign.ProtoChain, campaign.ProtoNonAuth, campaign.ProtoEIG,
+			campaign.ProtoFDBA, campaign.ProtoSM},
 		Sizes:       []int{4, 7, 10}, // classical t = ⌊(n−1)/3⌋ each
 		Schemes:     []string{sig.SchemeEd25519},
 		Adversaries: []string{campaign.AdvNone, campaign.AdvCrashRelay},
@@ -63,15 +68,17 @@ func main() {
 	report.Table().Render(os.Stdout)
 
 	// The headline numbers, pulled out of the report programmatically:
-	// with authentication the honest chain run costs n−1 messages —
-	// compare the nonauth baseline's (t+1)(n−1) at the same size.
+	// with authentication the honest chain run costs n−1 messages — and
+	// the FDBA agreement extension costs exactly the same when nothing
+	// fails, against the nonauth baseline's (t+1)(n−1) and SM(t)'s O(n²)
+	// at the same size.
 	fmt.Println()
 	for _, g := range report.Groups {
 		if g.Adversary != campaign.AdvNone {
 			continue
 		}
 		switch g.Protocol {
-		case campaign.ProtoChain, campaign.ProtoNonAuth:
+		case campaign.ProtoChain, campaign.ProtoNonAuth, campaign.ProtoFDBA, campaign.ProtoSM:
 			fmt.Printf("%-8s n=%-3d t=%d  %3.0f msgs/run (agree rate %.2f)\n",
 				g.Protocol, g.N, g.T, g.Messages.Mean, g.AgreeRate)
 		}

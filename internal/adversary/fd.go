@@ -286,3 +286,54 @@ func (a *WrongNameRelay) Step(round int, received []model.Message) []model.Messa
 
 // Finished implements sim.Finisher.
 func (a *WrongNameRelay) Finished() bool { return true }
+
+// EquivocatingSignedSender is a faulty P_0 for the signed-messages
+// agreement protocol SM(t): in round 1 it signs two values and broadcasts
+// one face to faceOne and the other to everyone else. Correct receivers
+// relay whichever chain they saw, so every correct node's extracted set V
+// ends up holding both values and choice(V) falls through to the default
+// — SM's documented answer to sender equivocation. The sender then plays
+// no further part (a faulty node owes the protocol nothing).
+type EquivocatingSignedSender struct {
+	cfg     model.Config
+	signer  sig.Signer
+	v1, v2  []byte
+	faceOne model.NodeSet
+}
+
+// NewEquivocatingSignedSenderFaces builds the two-faced SM(t) sender:
+// faceOne receives v1, its complement v2.
+func NewEquivocatingSignedSenderFaces(cfg model.Config, signer sig.Signer, v1, v2 []byte, faceOne model.NodeSet) *EquivocatingSignedSender {
+	return &EquivocatingSignedSender{cfg: cfg, signer: signer, v1: v1, v2: v2, faceOne: faceOne}
+}
+
+// Step implements sim.Process.
+func (a *EquivocatingSignedSender) Step(round int, _ []model.Message) []model.Message {
+	if round != 1 {
+		return nil
+	}
+	c1, err := sig.NewChain(a.v1, a.signer)
+	if err != nil {
+		panic(fmt.Sprintf("adversary: sign v1: %v", err))
+	}
+	c2, err := sig.NewChain(a.v2, a.signer)
+	if err != nil {
+		panic(fmt.Sprintf("adversary: sign v2: %v", err))
+	}
+	p1, p2 := c1.Marshal(), c2.Marshal()
+	out := make([]model.Message, 0, a.cfg.N-1)
+	for _, to := range a.cfg.Nodes() {
+		if to == fd.Sender {
+			continue
+		}
+		payload := p1
+		if !a.faceOne.Contains(to) {
+			payload = p2
+		}
+		out = append(out, model.Message{To: to, Kind: model.KindSigned, Payload: payload})
+	}
+	return out
+}
+
+// Finished implements sim.Finisher.
+func (a *EquivocatingSignedSender) Finished() bool { return true }

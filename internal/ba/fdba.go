@@ -105,6 +105,20 @@ func NewFDBANode(cfg model.Config, id model.NodeID, signer sig.Signer, dir sig.D
 // Decision implements Decider.
 func (n *FDBANode) Decision() Decision { return n.decision }
 
+// Outcome implements fd.Outcomer, letting FDBA runs flow through
+// core.Cluster and the protocol driver registry. The decision maps onto
+// Decided/Value; a phase-1 failure discovery rides along so ledger and
+// campaign reports can count how often the fallback was triggered. Note
+// that unlike a pure FD outcome, a discovery here coexists with a
+// decision — the fallback's whole job is to decide anyway.
+func (n *FDBANode) Outcome() model.Outcome {
+	out := model.Outcome{Node: n.id, Decided: n.finished, Value: n.decision.Value}
+	if fdOut := n.fdNode.Outcome(); fdOut.Discovery != nil {
+		out.Discovery = fdOut.Discovery
+	}
+	return out
+}
+
 // Finished implements sim.Finisher.
 func (n *FDBANode) Finished() bool { return n.finished }
 

@@ -84,6 +84,13 @@ func NewSMNode(cfg model.Config, id model.NodeID, signer sig.Signer, dir sig.Dir
 // Decision implements Decider.
 func (n *SMNode) Decision() Decision { return n.decision }
 
+// Outcome implements fd.Outcomer, letting SM(t) runs flow through
+// core.Cluster and the protocol driver registry. SM has no discovery
+// concept: the outcome is the decision alone.
+func (n *SMNode) Outcome() model.Outcome {
+	return model.Outcome{Node: n.id, Decided: n.finished, Value: n.decision.Value}
+}
+
 // Finished implements sim.Finisher.
 func (n *SMNode) Finished() bool { return n.finished }
 

@@ -3,12 +3,14 @@ package campaign
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/adversary"
 	"repro/internal/fd"
+	"repro/internal/protocol"
 	"repro/internal/sig"
 )
 
@@ -285,17 +287,44 @@ func TestRunInstanceReportsErrors(t *testing.T) {
 	}
 }
 
+// fullGridSpec widens toySpec to every registered protocol driver: the
+// campaign grid the invariance contract runs over. Deriving the protocol
+// list from the registry is itself part of the contract — a driver
+// registered without joining the invariance grid cannot exist.
+func fullGridSpec() Spec {
+	s := toySpec()
+	s.Name = "full-grid-sweep"
+	s.Protocols = protocol.Names()
+	return s
+}
+
 // TestReportWorkerCountInvariance is the campaign determinism contract:
-// the canonical JSON of a ≥100-instance sweep across ≥2 protocols must
-// be byte-identical for 1 worker and 8 workers.
+// the canonical JSON of a several-hundred-instance sweep across the full
+// seven-protocol registry grid must be byte-identical for 1 worker and 8
+// workers.
 func TestReportWorkerCountInvariance(t *testing.T) {
-	spec := toySpec()
+	spec := fullGridSpec()
+	if len(spec.Protocols) != 7 {
+		t.Fatalf("registry has %d drivers, the invariance grid expects 7: %v",
+			len(spec.Protocols), spec.Protocols)
+	}
 	insts, err := Expand(spec)
 	if err != nil {
 		t.Fatalf("Expand: %v", err)
 	}
 	if len(insts) < 100 {
 		t.Fatalf("differential spec has %d instances; the contract test needs >= 100", len(insts))
+	}
+	// Registry completeness: every registered driver must appear in the
+	// expanded grid — no driver can dodge the invariance contract.
+	covered := map[string]int{}
+	for _, inst := range insts {
+		covered[inst.Protocol]++
+	}
+	for _, name := range protocol.Names() {
+		if covered[name] == 0 {
+			t.Errorf("registered driver %q expanded to zero instances in the invariance grid", name)
+		}
 	}
 	rep1, err := Run(spec, 1)
 	if err != nil {
@@ -316,9 +345,10 @@ func TestReportWorkerCountInvariance(t *testing.T) {
 	if !bytes.Equal(j1, j8) {
 		t.Fatal("aggregate JSON differs between 1 and 8 workers; the campaign lost its determinism guarantee")
 	}
-	// The report must actually contain aggregates, not vacuous output.
-	if len(rep1.Groups) != 16 {
-		t.Errorf("got %d groups, want 16", len(rep1.Groups))
+	// The report must actually contain aggregates, not vacuous output:
+	// 7 protocols × 2 sizes × 4 adversaries.
+	if len(rep1.Groups) != 56 {
+		t.Errorf("got %d groups, want 56", len(rep1.Groups))
 	}
 	for _, g := range rep1.Groups {
 		if g.Errors != 0 {
@@ -381,7 +411,7 @@ func TestReportJSONRoundTrips(t *testing.T) {
 func TestReportSetupCacheInvariance(t *testing.T) {
 	spec := Spec{
 		Name:        "setup-cache-differential",
-		Protocols:   []string{ProtoChain, ProtoSmallRange, ProtoVector},
+		Protocols:   []string{ProtoChain, ProtoSmallRange, ProtoVector, ProtoFDBA, ProtoSM},
 		Sizes:       []int{4, 6},
 		Schemes:     []string{sig.SchemeToy, sig.SchemeEd25519},
 		Adversaries: []string{AdvNone, AdvCrashRelay, AdvEquivocate},
@@ -443,42 +473,6 @@ func TestReportSetupCacheInvarianceUnderEviction(t *testing.T) {
 	}
 }
 
-// TestSetupCacheBounded pins the eviction mechanics directly.
-func TestSetupCacheBounded(t *testing.T) {
-	sc := newSetupCache(2)
-	mk := func(n int) setupKey { return setupKey{kind: setupCluster, scheme: "toy", n: n, t: 1, keySeed: 1} }
-	sc.put(mk(4), 4)
-	sc.put(mk(5), 5)
-	sc.put(mk(6), 6) // evicts n=4
-	if len(sc.entries) != 2 {
-		t.Fatalf("cache holds %d entries, cap is 2", len(sc.entries))
-	}
-	if _, ok := sc.entries[mk(4)]; ok {
-		t.Error("oldest entry was not evicted")
-	}
-	for _, n := range []int{5, 6} {
-		if _, ok := sc.entries[mk(n)]; !ok {
-			t.Errorf("entry n=%d missing after eviction", n)
-		}
-	}
-	// Re-putting an existing key replaces in place: no duplicate in the
-	// eviction order, and the NEXT eviction still removes the true oldest.
-	sc.put(mk(5), 55)
-	if got := sc.entries[mk(5)]; got != 55 {
-		t.Errorf("re-put did not replace value: %v", got)
-	}
-	if len(sc.order) != 2 {
-		t.Fatalf("re-put duplicated the eviction order: %v", sc.order)
-	}
-	sc.put(mk(7), 7) // must evict n=5 (oldest), keep n=6 and n=7
-	if _, ok := sc.entries[mk(5)]; ok {
-		t.Error("eviction after re-put removed the wrong entry")
-	}
-	if _, ok := sc.entries[mk(6)]; !ok {
-		t.Error("live entry n=6 was evicted")
-	}
-}
-
 // TestInstanceKeySeedPinsKeyMaterial runs the same instance under two run
 // seeds and checks the traffic profile is identical (keys shared), then
 // under two key seeds and checks both still succeed — the fresh-keys
@@ -499,5 +493,35 @@ func TestInstanceKeySeedPinsKeyMaterial(t *testing.T) {
 	c := RunInstance(rekeyed)
 	if c.Err != "" || !c.Agreed {
 		t.Errorf("rekeyed instance failed: %+v", c)
+	}
+}
+
+// TestGoldenReportByteIdentical is the registry-redesign differential:
+// testdata/golden_report.json was generated by the pre-registry code
+// (hard-coded switch dispatch) over the five original protocols, and the
+// registry-backed engine must reproduce it byte for byte. Worker count
+// is arbitrary by the invariance contract; two counts are exercised so a
+// regression cannot hide behind scheduling.
+func TestGoldenReportByteIdentical(t *testing.T) {
+	spec, err := LoadSpec("testdata/golden_spec.json")
+	if err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	want, err := os.ReadFile("testdata/golden_report.json")
+	if err != nil {
+		t.Fatalf("read golden report: %v", err)
+	}
+	for _, workers := range []int{1, 4} {
+		rep, err := Run(spec, workers)
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		got, err := rep.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("CanonicalJSON: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("registry-backed report (workers=%d) differs from the pre-registry golden report", workers)
+		}
 	}
 }

@@ -3,6 +3,7 @@ package campaign
 import (
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/protocol"
 )
 
 // Agreement conformance: every completed instance is evaluated against
@@ -18,12 +19,18 @@ import (
 //   - validity: absent any discovery and with a correct sender, every
 //     correct decision equals the sender's value (weak validity, F3).
 //
-// Expected-failure semantics: the theory does not promise agreement for
-// non-authenticated protocols at or below the n ≤ 3t resilience bound —
-// those configurations are *allowed* to disagree, so their agreement and
-// validity failures are recorded in the verdict but never counted as
-// violations. Termination is never excused: weak termination is exactly
-// what failure discovery buys at every authentication level.
+// How each protocol family reads the predicates is not decided here: the
+// driver's protocol.VerdictMapper declares it. MayDisagree names the
+// configurations whose disagreement the theory permits (their agreement
+// and validity failures are recorded but never counted as violations —
+// honest runs are never excused), and DiscoveryExempts distinguishes the
+// weak-FD reading (a discovery makes F2/F3 vacuous) from the full
+// agreement protocols (fdba, sm), whose fallback must align decisions
+// even in runs where failures WERE discovered — for them the scorer
+// strips discoveries before checking agreement and validity, making the
+// check strictly stronger. Termination is never excused: weak
+// termination is exactly what failure discovery buys at every
+// authentication level.
 
 // Predicate names recorded in Verdict.Violations.
 const (
@@ -38,9 +45,10 @@ type Verdict struct {
 	Termination bool `json:"termination"`
 	Agreement   bool `json:"agreement"`
 	Validity    bool `json:"validity"`
-	// MayDisagree marks configurations whose disagreement the theory
-	// permits (non-authenticated protocols with n ≤ 3t): their agreement
-	// and validity failures are expected, not violations.
+	// MayDisagree marks configurations whose disagreement the driver's
+	// verdict mapper permits (e.g. non-authenticated protocols with
+	// n ≤ 3t): their agreement and validity failures are expected, not
+	// violations.
 	MayDisagree bool `json:"may_disagree,omitempty"`
 	// Violations lists the predicates that failed and were not excused,
 	// in the fixed termination/agreement/validity order.
@@ -50,48 +58,14 @@ type Verdict struct {
 // Conformant reports whether the instance met every unexcused predicate.
 func (v *Verdict) Conformant() bool { return v != nil && len(v.Violations) == 0 }
 
-// mayDisagree reports whether the theory permits correct nodes to
-// disagree without discovery under a fault-injecting adversary:
-//
-//   - non-authenticated protocols (no signatures to pin a two-faced
-//     sender down) at or below the classical n > 3t resilience bound;
-//   - the simplified small-range variant under ANY fault mix — it cannot
-//     attribute silence, so an adversary that suppresses the non-default
-//     chain silently imposes the default on part of the tail
-//     (fd.SmallRangeNode's documented limitation, exhibited by
-//     TestSmallRangeSplitAttack).
-//
-// Honest configurations are never excused: a fault-free run that fails to
-// agree is a bug regardless of protocol. The authenticated chain and
-// vector protocols carry no escape at all — their weak properties hold
-// for any f ≤ t, which is the paper's point.
-func mayDisagree(protocol string, n, t int, honest bool) bool {
-	if honest {
-		return false
-	}
-	switch protocol {
-	case ProtoNonAuth, ProtoEIG:
-		return n <= 3*t
-	case ProtoSmallRange:
-		return true
-	}
-	return false
-}
-
-// honestAdversary reports whether the instance injects no faults.
-func (inst Instance) honestAdversary() bool {
-	strat, err := inst.strategy()
-	return err == nil && strat.IsHonest()
-}
-
 // newVerdict assembles a Verdict, recording a violation for every failed
-// predicate the configuration's theory does not excuse.
-func newVerdict(inst Instance, termination, agreement, validity bool) *Verdict {
+// predicate the driver's theory does not excuse.
+func newVerdict(termination, agreement, validity, mayDisagree bool) *Verdict {
 	v := &Verdict{
 		Termination: termination,
 		Agreement:   agreement,
 		Validity:    validity,
-		MayDisagree: mayDisagree(inst.Protocol, inst.N, inst.T, inst.honestAdversary()),
+		MayDisagree: mayDisagree,
 	}
 	if !termination {
 		v.Violations = append(v.Violations, PredTermination)
@@ -105,28 +79,95 @@ func newVerdict(inst Instance, termination, agreement, validity bool) *Verdict {
 	return v
 }
 
-// evaluateOutcomes derives the verdict for one set of per-node outcomes
-// through the core property checkers. outcomes must cover the correct
-// nodes only (the run paths exclude overridden and wrapped processes);
-// faulty is the instance's resolved corrupt set, sender and initial the
-// run's distinguished sender and its proposal, rounds/roundBound the
-// engine steps used and the protocol's deadline.
-func evaluateOutcomes(inst Instance, outcomes []model.Outcome, faulty model.NodeSet,
-	sender model.NodeID, initial []byte, rounds, roundBound int) *Verdict {
-	termination := core.CheckF1(outcomes, faulty) == nil && rounds <= roundBound
-	agreement := core.CheckF2(outcomes, faulty) == nil
-	validity := core.CheckF3(outcomes, faulty, sender, initial) == nil
-	return newVerdict(inst, termination, agreement, validity)
+// mayDisagree resolves the excusal for one instance: honest
+// configurations are never excused (a fault-free run that fails to agree
+// is a bug regardless of protocol); otherwise the driver's verdict
+// mapper decides.
+func mayDisagree(verdicts protocol.VerdictMapper, n, t int, honest bool) bool {
+	return !honest && verdicts.MayDisagree(n, t)
 }
 
-// mergeVerdicts folds the verdicts of several sub-runs (vector's rotated
-// chain instances) into one: every predicate must hold in every sub-run.
-func mergeVerdicts(inst Instance, verdicts []*Verdict) *Verdict {
-	termination, agreement, validity := true, true, true
-	for _, v := range verdicts {
-		termination = termination && v.Termination
-		agreement = agreement && v.Agreement
-		validity = validity && v.Validity
+// scoreOutcome derives one instance's verdict from a driver outcome:
+// every SubRun is evaluated against F1–F3 plus the round bound, and the
+// predicates must hold in all of them (vector's rotated sub-instances).
+func scoreOutcome(drv protocol.Driver, pinst protocol.Instance, out protocol.Outcome) *Verdict {
+	verdicts := drv.Verdicts()
+	may := mayDisagree(verdicts, pinst.N, pinst.T, pinst.Strategy.IsHonest())
+	if len(out.SubRuns) == 0 {
+		// No conformance material is itself a violation: a driver that
+		// reports nothing to score must not silently pass the -strict
+		// gate.
+		return newVerdict(false, false, false, may)
 	}
-	return newVerdict(inst, termination, agreement, validity)
+	faulty := pinst.Faulty()
+	termination, agreement, validity := true, true, true
+	for _, sr := range out.SubRuns {
+		t, a, v := evaluateSubRun(sr, faulty, out.Rounds, out.RoundBound, verdicts.DiscoveryExempts())
+		termination = termination && t
+		agreement = agreement && a
+		validity = validity && v
+	}
+	return newVerdict(termination, agreement, validity, may)
+}
+
+// evaluateSubRun runs the core property checkers over one sub-run's
+// outcomes. outcomes must cover the correct nodes only (the drivers
+// exclude overridden and wrapped processes). When discoveries do not
+// exempt (full agreement protocols), F2/F3 run over outcomes with the
+// discoveries stripped, so agreement and validity are checked
+// unconditionally.
+func evaluateSubRun(sr protocol.SubRun, faulty model.NodeSet, rounds, roundBound int,
+	discoveryExempts bool) (termination, agreement, validity bool) {
+	outcomes := sr.Outcomes
+	termination = core.CheckF1(outcomes, faulty) == nil && rounds <= roundBound
+	if !discoveryExempts {
+		outcomes = withoutDiscoveries(outcomes)
+	}
+	agreement = core.CheckF2(outcomes, faulty) == nil
+	validity = core.CheckF3(outcomes, faulty, sr.Sender, sr.Initial) == nil
+	return termination, agreement, validity
+}
+
+// withoutDiscoveries returns the outcomes with Discovery cleared, leaving
+// the originals untouched. A no-op (no copy) when nothing is set.
+func withoutDiscoveries(outcomes []model.Outcome) []model.Outcome {
+	stripped := outcomes
+	copied := false
+	for i, o := range outcomes {
+		if o.Discovery == nil {
+			continue
+		}
+		if !copied {
+			stripped = append([]model.Outcome(nil), outcomes...)
+			copied = true
+		}
+		stripped[i].Discovery = nil
+	}
+	return stripped
+}
+
+// evaluateOutcomes derives the verdict for one set of per-node outcomes,
+// resolving the instance's driver for the verdict mapping. It is the
+// single-sub-run entry point kept for tests and hand-built evaluations;
+// campaign runs score through scoreOutcome.
+func evaluateOutcomes(inst Instance, outcomes []model.Outcome, faulty model.NodeSet,
+	sender model.NodeID, initial []byte, rounds, roundBound int) *Verdict {
+	drv, err := protocol.Lookup(inst.Protocol)
+	if err != nil {
+		// Unknown protocols cannot excuse anything; score strictly.
+		t := core.CheckF1(outcomes, faulty) == nil && rounds <= roundBound
+		a := core.CheckF2(outcomes, faulty) == nil
+		v := core.CheckF3(outcomes, faulty, sender, initial) == nil
+		return newVerdict(t, a, v, false)
+	}
+	verdicts := drv.Verdicts()
+	t, a, v := evaluateSubRun(protocol.SubRun{Sender: sender, Initial: initial, Outcomes: outcomes},
+		faulty, rounds, roundBound, verdicts.DiscoveryExempts())
+	return newVerdict(t, a, v, mayDisagree(verdicts, inst.N, inst.T, inst.honestAdversary()))
+}
+
+// honestAdversary reports whether the instance injects no faults.
+func (inst Instance) honestAdversary() bool {
+	strat, err := inst.strategy()
+	return err == nil && strat.IsHonest()
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/model"
+	"repro/internal/protocol"
 	"repro/internal/sig"
 )
 
@@ -209,13 +210,14 @@ func TestReportConformanceAggregation(t *testing.T) {
 }
 
 // TestCampaignGridIsConformant is the harness-as-property-test claim: a
-// sweep across every protocol and each behavior family (including a
-// seeded coalition and delayed delivery) completes with zero unexcused
-// violations — and the verdicts are present in every result.
+// sweep across every registered protocol driver and each behavior family
+// (including a seeded coalition and delayed delivery) completes with
+// zero unexcused violations — and the verdicts are present in every
+// result.
 func TestCampaignGridIsConformant(t *testing.T) {
 	spec := Spec{
 		Name:      "conformance-grid",
-		Protocols: []string{ProtoChain, ProtoNonAuth, ProtoSmallRange, ProtoVector, ProtoEIG},
+		Protocols: protocol.Names(),
 		Sizes:     []int{4, 7},
 		Schemes:   []string{sig.SchemeToy},
 		Adversaries: []string{
@@ -249,5 +251,19 @@ func TestCampaignGridIsConformant(t *testing.T) {
 		if res.Conformance == nil {
 			t.Errorf("instance %d has no verdict", res.Index)
 		}
+	}
+}
+
+// TestEmptySubRunsIsViolation pins the scorer's guard: a driver outcome
+// carrying no conformance material must not pass the -strict gate as
+// vacuously conformant.
+func TestEmptySubRunsIsViolation(t *testing.T) {
+	drv, err := protocol.Lookup(ProtoChain)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	v := scoreOutcome(drv, protocol.Instance{N: 4, T: 1}, protocol.Outcome{})
+	if v.Conformant() {
+		t.Errorf("outcome with zero sub-runs scored conformant: %+v", v)
 	}
 }

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/adversary"
-	"repro/internal/model"
+	"repro/internal/protocol"
 )
 
 // Instance is one fully specified, independently runnable simulation:
@@ -17,7 +17,8 @@ type Instance struct {
 	// runner stores results by Index so aggregation order never depends
 	// on worker scheduling.
 	Index int `json:"index"`
-	// Protocol is one of the Proto* names.
+	// Protocol is a registered driver name (see internal/protocol; the
+	// Proto* constants alias the built-ins).
 	Protocol string `json:"protocol"`
 	// N and T are the system size and fault bound.
 	N int `json:"n"`
@@ -56,57 +57,15 @@ func (i Instance) GroupKey() string {
 	return fmt.Sprintf("%s/n=%d/t=%d/%s/%s", i.Protocol, i.N, i.T, scheme, i.Adversary)
 }
 
-// usesSignatures reports whether the protocol consumes a signature
-// scheme. Unsigned protocols expand once per configuration instead of
-// once per scheme (their runs would be identical), with Scheme left "".
-func usesSignatures(protocol string) bool {
-	switch protocol {
-	case ProtoNonAuth, ProtoEIG:
-		return false
+// capabilities resolves a protocol name's declared capabilities through
+// the driver registry (the zero value for unknown names; Validate has
+// already rejected those before expansion runs).
+func capabilities(name string) protocol.Capabilities {
+	drv, err := protocol.Lookup(name)
+	if err != nil {
+		return protocol.Capabilities{}
 	}
-	return true
-}
-
-// supports reports whether the (protocol, n, t, strategy) combination is
-// expressible. Skipped combinations are documented here, in one place, so
-// expansion stays a pure function of the Spec. The rules depend only on
-// the configuration, never on a seed — a coalition's membership varies
-// per seed, so coalition rules are stated over the size, not the members:
-//
-//   - every protocol needs the model's basic sanity (2 ≤ n, 0 ≤ t < n);
-//   - eig (OM(t)) additionally needs n > 3t and n ≤ 256;
-//   - any adversary needs t ≥ 1 (a fault outside the bound proves nothing)
-//     and a corrupt set of at most t nodes, all with valid IDs;
-//   - a strategy that can corrupt a non-sender node (any coalition, or a
-//     fixed set naming one) needs n ≥ 3 so P_1 is never the only other
-//     node — the generalization of the old crash-relay rule;
-//   - equivocate needs a distinguished sender with a value range wider
-//     than the protocol's silence encoding: chain, nonauth, and eig
-//     qualify; smallrange (one bit) and vector (all nodes send) do not.
-func supports(protocol string, n, t int, strat adversary.Strategy) bool {
-	if err := (model.Config{N: n, T: t}).Validate(); err != nil {
-		return false
-	}
-	if protocol == ProtoEIG && (n <= 3*t || n > 256) {
-		return false
-	}
-	if strat.IsHonest() {
-		return true
-	}
-	if t < 1 {
-		return false
-	}
-	if strat.CorruptSize() > t || strat.MaxFixedNode() >= n {
-		return false
-	}
-	if strat.CorruptsNonSender() && n < 3 {
-		return false
-	}
-	if strat.HasBehavior(adversary.BehaviorEquivocate) &&
-		(protocol == ProtoSmallRange || protocol == ProtoVector) {
-		return false
-	}
-	return true
+	return drv.Capabilities()
 }
 
 // classicTol is the classical fault bound t = ⌊(n−1)/3⌋, floored at 1 so
@@ -157,21 +116,26 @@ func Expand(spec Spec) ([]Instance, error) {
 		return nil, err
 	}
 	var out []Instance
-	for _, protocol := range spec.Protocols {
+	for _, name := range spec.Protocols {
+		// One registry lookup per protocol; the skip rules live with the
+		// drivers (Capabilities.Supports), so expansion stays a pure
+		// function of the Spec and the registry with no per-protocol
+		// branches here.
+		caps := capabilities(name)
 		schemes := spec.Schemes
-		if !usesSignatures(protocol) {
+		if !caps.UsesSignatures {
 			schemes = []string{""}
 		}
 		for _, c := range spec.cases() {
 			for _, scheme := range schemes {
 				for _, strat := range strategies {
-					if !supports(protocol, c.N, c.T, strat) {
+					if !caps.Supports(c.N, c.T, strat) {
 						continue
 					}
 					for s := 0; s < spec.SeedCount; s++ {
 						out = append(out, Instance{
 							Index:     len(out),
-							Protocol:  protocol,
+							Protocol:  name,
 							N:         c.N,
 							T:         c.T,
 							Scheme:    scheme,

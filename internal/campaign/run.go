@@ -1,17 +1,10 @@
 package campaign
 
 import (
-	"bytes"
-	"fmt"
-
 	"repro/internal/adversary"
-	"repro/internal/ba"
-	"repro/internal/core"
-	"repro/internal/fd"
-	"repro/internal/keydist"
 	"repro/internal/metrics"
 	"repro/internal/model"
-	"repro/internal/sim"
+	"repro/internal/protocol"
 )
 
 // Result is the outcome of one instance. Only plain data — it marshals
@@ -32,7 +25,7 @@ type Result struct {
 	// sender).
 	Agreed bool `json:"agreed"`
 	// Discovered reports whether at least one correct node discovered a
-	// failure.
+	// failure (for fdba: whether the fallback was triggered).
 	Discovered bool `json:"discovered"`
 	// Rounds is the number of engine steps the protocol phase ran.
 	Rounds int `json:"rounds"`
@@ -70,15 +63,6 @@ func countSigned(s metrics.Snapshot) int {
 	return total
 }
 
-// campaignValue is the sender's proposal in multi-byte-value protocols.
-// It matches the value package experiments always sent, so campaign-
-// ported tables (E2, E3) keep byte-for-byte continuity with the seed
-// tree's wire traffic.
-var campaignValue = []byte("value")
-
-// campaignAltValue is the equivocating sender's second face.
-var campaignAltValue = []byte("forged")
-
 // RunInstance executes one instance in full isolation: key material,
 // RNG streams, every process, and the metrics sink all derive from the
 // instance alone, so any number of RunInstance calls may execute
@@ -92,26 +76,53 @@ var campaignAltValue = []byte("forged")
 // cached-vs-fresh differential test pins that equivalence.
 func RunInstance(inst Instance) Result { return runInstance(inst, nil) }
 
-// runInstance dispatches one instance, reusing cached setup when cache
-// is non-nil.
-func runInstance(inst Instance, cache *setupCache) Result {
+// runInstance dispatches one instance through the protocol driver
+// registry, reusing cached setup when cache is non-nil and the driver
+// declares cacheable setup. There is no per-protocol branching here:
+// every protocol the registry knows — including drivers registered
+// outside this repository — runs, aggregates, and is conformance-scored
+// identically.
+func runInstance(inst Instance, cache *protocol.SetupCache) Result {
 	res := Result{Index: inst.Index, Group: inst.GroupKey(), Seed: inst.Seed}
-	var err error
-	switch inst.Protocol {
-	case ProtoChain, ProtoNonAuth, ProtoSmallRange:
-		err = runClusterInstance(inst, &res, cache)
-	case ProtoVector:
-		err = runVectorInstance(inst, &res, cache)
-	case ProtoEIG:
-		err = runEIGInstance(inst, &res)
-	default:
-		err = fmt.Errorf("campaign: unknown protocol %q", inst.Protocol)
-	}
-	if err != nil {
+	if err := runInto(inst, cache, &res); err != nil {
 		res.Err = err.Error()
 		res.Conformance = nil
 	}
 	return res
+}
+
+// runInto executes the instance and fills the result's measurement and
+// conformance fields.
+func runInto(inst Instance, cache *protocol.SetupCache, res *Result) error {
+	drv, err := protocol.Lookup(inst.Protocol)
+	if err != nil {
+		return err
+	}
+	strat, err := inst.strategy()
+	if err != nil {
+		return err
+	}
+	pinst := protocol.Instance{
+		N:        inst.N,
+		T:        inst.T,
+		Scheme:   inst.Scheme,
+		Strategy: strat,
+		Seed:     inst.Seed,
+		KeySeed:  inst.KeySeed,
+	}
+	out, err := protocol.RunInstance(drv, pinst, cache)
+	if err != nil {
+		return err
+	}
+	res.Rounds = out.Rounds
+	res.CommRounds = out.Snapshot.CommunicationRounds
+	res.Messages = out.Snapshot.Messages
+	res.Bytes = out.Snapshot.Bytes
+	res.SignedMessages = countSigned(out.Snapshot)
+	res.Agreed = out.Agreed
+	res.Discovered = out.Discovered
+	res.Conformance = scoreOutcome(drv, pinst, out)
+	return nil
 }
 
 // strategy resolves the instance's adversary: the structured Strategy
@@ -126,380 +137,4 @@ func (inst Instance) strategy() (adversary.Strategy, error) {
 		return adversary.Strategy{Name: AdvNone}, nil
 	}
 	return ParseAdversary(inst.Adversary)
-}
-
-// pureCrash reports a behavior stack equivalent to a from-the-start
-// crash. Such nodes run as sim.Silent — exactly what the legacy mixes
-// did, and cheaper than stepping a wrapped node whose every send is
-// dropped anyway.
-func pureCrash(specs []adversary.BehaviorSpec) bool {
-	return len(specs) == 1 && specs[0].Name == adversary.BehaviorCrash && specs[0].Round <= 1
-}
-
-// equivocatePartition returns the partition of the stack's first
-// equivocate behavior.
-func equivocatePartition(strat adversary.Strategy) string {
-	for _, b := range strat.Behaviors {
-		if b.Name == adversary.BehaviorEquivocate {
-			return b.Partition
-		}
-	}
-	return ""
-}
-
-// withoutEquivocate filters equivocate out of a behavior stack; used when
-// a bespoke two-faced process replaces the generic filter.
-func withoutEquivocate(specs []adversary.BehaviorSpec) []adversary.BehaviorSpec {
-	var out []adversary.BehaviorSpec
-	for _, b := range specs {
-		if b.Name != adversary.BehaviorEquivocate {
-			out = append(out, b)
-		}
-	}
-	return out
-}
-
-// clusterFaultOption builds the run option that corrupts node id under
-// the strategy for a cluster-backed protocol. An equivocating sender gets
-// the protocol's bespoke two-faced process (remaining behaviors wrap it);
-// a from-the-start crash runs silent; every other stack wraps the node's
-// correct process with the compiled behavior filters.
-func clusterFaultOption(inst Instance, c *core.Cluster, protocol core.Protocol,
-	strat adversary.Strategy, id model.NodeID) (core.RunOption, error) {
-	specs := strat.Behaviors
-	if id == fd.Sender && strat.HasBehavior(adversary.BehaviorEquivocate) {
-		faceOne, err := adversary.PartitionFaceOne(equivocatePartition(strat), inst.N)
-		if err != nil {
-			return nil, err
-		}
-		var sender sim.Process
-		if protocol == core.ProtocolNonAuth {
-			sender = adversary.NewEquivocatingPlainSenderFaces(c.Config(), campaignValue, campaignAltValue, faceOne)
-		} else {
-			signer, err := c.Signer(fd.Sender)
-			if err != nil {
-				return nil, err
-			}
-			sender = adversary.NewEquivocatingSenderFaces(c.Config(), signer, campaignValue, campaignAltValue, faceOne)
-		}
-		if rest := withoutEquivocate(specs); len(rest) > 0 {
-			behaviors, err := adversary.BuildBehaviors(rest, inst.N)
-			if err != nil {
-				return nil, err
-			}
-			sender = adversary.WrapBehaviors(sender, behaviors...)
-		}
-		return core.WithProcess(id, sender), nil
-	}
-	if pureCrash(specs) {
-		return core.WithProcess(id, sim.Silent{}), nil
-	}
-	behaviors, err := adversary.BuildBehaviors(specs, inst.N)
-	if err != nil {
-		return nil, err
-	}
-	return core.WithWrappedProcess(id, func(p sim.Process) sim.Process {
-		return adversary.WrapBehaviors(p, behaviors...)
-	}), nil
-}
-
-// runClusterInstance runs the core.Cluster-backed protocols (chain,
-// nonauth, smallrange).
-func runClusterInstance(inst Instance, res *Result, cache *setupCache) error {
-	var protocol core.Protocol
-	value := campaignValue
-	maxRounds := fd.ChainEngineRounds(inst.T)
-	switch inst.Protocol {
-	case ProtoChain:
-		protocol = core.ProtocolChain
-	case ProtoNonAuth:
-		protocol = core.ProtocolNonAuth
-		maxRounds = fd.NonAuthEngineRounds(inst.T)
-	case ProtoSmallRange:
-		protocol = core.ProtocolSmallRange
-		value = []byte{1}
-	}
-	strat, err := inst.strategy()
-	if err != nil {
-		return err
-	}
-	faulty := strat.CorruptSet(inst.N, inst.Seed)
-	// nonauth ignores keys entirely, so its setup is free and skips the
-	// cache; the authenticated protocols reuse an established cluster when
-	// their (scheme, n, t, keySeed) cell is cached, paying keygen and the
-	// 3n(n−1)-message handshake once per cell instead of once per seed.
-	var c *core.Cluster
-	if cache != nil && protocol != core.ProtocolNonAuth {
-		c, err = cache.cluster(inst)
-		if err != nil {
-			return err
-		}
-		c.Reset(inst.Seed)
-	} else {
-		c, err = establishedCluster(inst, protocol != core.ProtocolNonAuth)
-		if err != nil {
-			return err
-		}
-	}
-	runOpts := []core.RunOption{core.WithProtocol(protocol)}
-	for _, id := range faulty.Sorted() {
-		opt, err := clusterFaultOption(inst, c, protocol, strat, id)
-		if err != nil {
-			return err
-		}
-		runOpts = append(runOpts, opt)
-	}
-	rep, err := c.RunFailureDiscovery(value, runOpts...)
-	if err != nil {
-		return err
-	}
-	res.Rounds = rep.Rounds
-	res.CommRounds = rep.Snapshot.CommunicationRounds
-	res.Messages = rep.Snapshot.Messages
-	res.Bytes = rep.Snapshot.Bytes
-	res.SignedMessages = countSigned(rep.Snapshot)
-	res.Discovered = len(rep.Discoveries) > 0
-	res.Agreed = outcomesAgree(rep.Outcomes)
-	res.Conformance = evaluateOutcomes(inst, rep.Outcomes, faulty, fd.Sender, value, rep.Rounds, maxRounds)
-	return nil
-}
-
-// outcomesAgree reports whether every outcome decided on one identical
-// value. Outcomes belong to correct nodes only (overridden processes
-// report none).
-func outcomesAgree(outcomes []model.Outcome) bool {
-	if len(outcomes) == 0 {
-		return false
-	}
-	var first []byte
-	for i, o := range outcomes {
-		if !o.Decided {
-			return false
-		}
-		if i == 0 {
-			first = o.Value
-			continue
-		}
-		if !bytes.Equal(o.Value, first) {
-			return false
-		}
-	}
-	return true
-}
-
-// runVectorInstance runs the all-senders vector composition: one honest
-// key distribution (the paper's once-amortized setup phase — reused from
-// the worker's cache when the cell is warm), then the vector round with
-// the adversary strategy applied.
-func runVectorInstance(inst Instance, res *Result, cache *setupCache) error {
-	cfg := model.Config{N: inst.N, T: inst.T}
-	var kdNodes []*keydist.Node
-	var err error
-	if cache != nil {
-		kdNodes, err = cache.vectorMaterial(inst)
-	} else {
-		kdNodes, err = newVectorMaterial(inst)
-	}
-	if err != nil {
-		return err
-	}
-
-	strat, err := inst.strategy()
-	if err != nil {
-		return err
-	}
-	faulty := strat.CorruptSet(inst.N, inst.Seed)
-	procs := make([]sim.Process, inst.N)
-	nodes := make([]*fd.VectorNode, inst.N)
-	for i := 0; i < inst.N; i++ {
-		id := model.NodeID(i)
-		if faulty.Contains(id) && pureCrash(strat.Behaviors) {
-			procs[i] = sim.Silent{}
-			continue
-		}
-		node, err := fd.NewVectorNode(cfg, id, kdNodes[i].Signer(), kdNodes[i].Directory(),
-			[]byte(fmt.Sprintf("proposal-%d", i)))
-		if err != nil {
-			return err
-		}
-		if faulty.Contains(id) {
-			// A corrupt node runs the correct protocol under its behavior
-			// stack; it reports no outcome (nodes[i] stays nil).
-			behaviors, err := adversary.BuildBehaviors(strat.Behaviors, inst.N)
-			if err != nil {
-				return err
-			}
-			procs[i] = adversary.WrapBehaviors(node, behaviors...)
-			continue
-		}
-		nodes[i] = node
-		procs[i] = node
-	}
-	counters := metrics.NewCounters()
-	maxRounds := fd.ChainEngineRounds(inst.T)
-	simRes, err := sim.RunInstance(cfg, procs, maxRounds, sim.WithCounters(counters))
-	if err != nil {
-		return err
-	}
-	snap := counters.Snapshot()
-	res.Rounds = simRes.Rounds
-	res.CommRounds = snap.CommunicationRounds
-	res.Messages = snap.Messages
-	res.Bytes = snap.Bytes
-	res.SignedMessages = countSigned(snap)
-
-	// Agreement: every instance with a correct sender must be decided
-	// identically by every correct node; any discovery anywhere is
-	// recorded. Conformance evaluates each rotated sub-instance against
-	// F1–F3 and requires all of them to pass.
-	agreed := true
-	verdicts := make([]*Verdict, 0, inst.N)
-	for s := 0; s < inst.N; s++ {
-		sid := model.NodeID(s)
-		outcomes := make([]model.Outcome, 0, inst.N)
-		var first []byte
-		haveFirst := false
-		for _, node := range nodes {
-			if node == nil {
-				continue
-			}
-			out := node.Outcome(sid)
-			outcomes = append(outcomes, out)
-			if out.Discovery != nil {
-				res.Discovered = true
-			}
-			if faulty.Contains(sid) {
-				continue // no agreement obligation for a faulty sender
-			}
-			if !out.Decided {
-				agreed = false
-				continue
-			}
-			if !haveFirst {
-				first, haveFirst = out.Value, true
-			} else if !bytes.Equal(out.Value, first) {
-				agreed = false
-			}
-		}
-		initial := []byte(fmt.Sprintf("proposal-%d", s))
-		verdicts = append(verdicts,
-			evaluateOutcomes(inst, outcomes, faulty, sid, initial, simRes.Rounds, maxRounds))
-	}
-	res.Agreed = agreed
-	res.Conformance = mergeVerdicts(inst, verdicts)
-	return nil
-}
-
-// equivocateOral is the sender-side equivocation filter for eig: in
-// round 1 the faulty sender reports campaignValue to faceOne and
-// campaignAltValue to everyone else.
-func equivocateOral(faceOne model.NodeSet) adversary.Filter {
-	alt := ba.MarshalOralEntries([]ba.OralEntry{{Path: []model.NodeID{ba.Sender}, Value: campaignAltValue}})
-	return func(round int, out []model.Message) []model.Message {
-		if round != 1 {
-			return out
-		}
-		for i := range out {
-			if out[i].Kind == model.KindOral && !faceOne.Contains(out[i].To) {
-				out[i].Payload = alt
-			}
-		}
-		return out
-	}
-}
-
-// runEIGInstance runs the OM(t) baseline.
-func runEIGInstance(inst Instance, res *Result) error {
-	cfg := model.Config{N: inst.N, T: inst.T}
-	strat, err := inst.strategy()
-	if err != nil {
-		return err
-	}
-	faulty := strat.CorruptSet(inst.N, inst.Seed)
-	procs := make([]sim.Process, inst.N)
-	nodes := make([]*ba.EIGNode, inst.N)
-	for i := 0; i < inst.N; i++ {
-		id := model.NodeID(i)
-		corrupt := faulty.Contains(id)
-		if corrupt && pureCrash(strat.Behaviors) {
-			procs[i] = sim.Silent{}
-			continue
-		}
-		var opts []ba.EIGOption
-		if id == ba.Sender {
-			opts = append(opts, ba.WithEIGValue(campaignValue))
-		}
-		node, err := ba.NewEIGNode(cfg, id, opts...)
-		if err != nil {
-			return err
-		}
-		if corrupt {
-			// A corrupt node runs OM(t) correctly under its behavior stack;
-			// its own decision does not count (nodes[i] stays nil). The
-			// sender's equivocation uses the oral-entry rewrite — a proper
-			// second face, not a tampered payload.
-			var stack []adversary.Behavior
-			if id == ba.Sender && strat.HasBehavior(adversary.BehaviorEquivocate) {
-				faceOne, err := adversary.PartitionFaceOne(equivocatePartition(strat), inst.N)
-				if err != nil {
-					return err
-				}
-				stack = append(stack, equivocateOral(faceOne))
-				rest, err := adversary.BuildBehaviors(withoutEquivocate(strat.Behaviors), inst.N)
-				if err != nil {
-					return err
-				}
-				stack = append(stack, rest...)
-			} else {
-				stack, err = adversary.BuildBehaviors(strat.Behaviors, inst.N)
-				if err != nil {
-					return err
-				}
-			}
-			procs[i] = adversary.WrapBehaviors(node, stack...)
-			continue
-		}
-		nodes[i] = node
-		procs[i] = node
-	}
-	counters := metrics.NewCounters()
-	maxRounds := ba.EIGEngineRounds(inst.T)
-	simRes, err := sim.RunInstance(cfg, procs, maxRounds, sim.WithCounters(counters))
-	if err != nil {
-		return err
-	}
-	snap := counters.Snapshot()
-	res.Rounds = simRes.Rounds
-	res.CommRounds = snap.CommunicationRounds
-	res.Messages = snap.Messages
-	res.Bytes = snap.Bytes
-	res.SignedMessages = countSigned(snap)
-
-	agreed := true
-	var first []byte
-	haveFirst := false
-	outcomes := make([]model.Outcome, 0, inst.N)
-	for i, node := range nodes {
-		if node == nil {
-			continue
-		}
-		d := node.Decision()
-		outcomes = append(outcomes, model.Outcome{
-			Node:    model.NodeID(i),
-			Decided: d.Value != nil,
-			Value:   d.Value,
-		})
-		if d.Value == nil {
-			agreed = false
-			continue
-		}
-		if !haveFirst {
-			first, haveFirst = d.Value, true
-		} else if !bytes.Equal(d.Value, first) {
-			agreed = false
-		}
-	}
-	res.Agreed = agreed && haveFirst
-	res.Conformance = evaluateOutcomes(inst, outcomes, faulty, ba.Sender, campaignValue, simRes.Rounds, maxRounds)
-	return nil
 }

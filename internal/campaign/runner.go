@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/protocol"
 )
 
 // ReportSchema identifies the report JSON layout for downstream tooling.
@@ -86,7 +87,8 @@ func WithoutSetupCache() Option {
 }
 
 // WithSetupCacheCap bounds each worker's setup cache to n entries
-// (default defaultSetupCacheCap). Mostly for tests that force eviction.
+// (default protocol.DefaultSetupCacheCap). Mostly for tests that force
+// eviction.
 func WithSetupCacheCap(n int) Option {
 	return func(c *runConfig) { c.cacheCap = n }
 }
@@ -99,7 +101,7 @@ func WithSetupCacheCap(n int) Option {
 // aggregate is identical no matter how the shards raced. workers < 1
 // means one worker per CPU.
 //
-// Each worker owns a bounded setup cache (see setupcache.go), so a seed
+// Each worker owns a bounded setup cache (protocol.SetupCache), so a seed
 // sweep pays key generation and the authentication handshake once per
 // (scheme, n, t) cell per worker instead of once per instance. The cache
 // cannot affect the report: key material is pinned by Instance.KeySeed
@@ -125,9 +127,9 @@ func Run(spec Spec, workers int, opts ...Option) (*Report, error) {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			var cache *setupCache
+			var cache *protocol.SetupCache
 			if cfg.setupCache {
-				cache = newSetupCache(cfg.cacheCap)
+				cache = protocol.NewSetupCache(cfg.cacheCap)
 			}
 			for i := shard; i < len(instances); i += workers {
 				results[i] = runInstance(instances[i], cache)

@@ -26,23 +26,33 @@ import (
 	"os"
 
 	"repro/internal/adversary"
+	"repro/internal/protocol"
 	"repro/internal/sig"
 )
 
-// Protocol names accepted in Spec.Protocols.
+// Protocol names accepted in Spec.Protocols. The vocabulary is the
+// protocol driver registry (internal/protocol): any registered driver —
+// including ones registered outside this repository — sweeps through the
+// campaign engine with no campaign changes. The constants below alias
+// the built-in drivers for spec-building convenience.
 const (
 	// ProtoChain is the authenticated chain failure-discovery protocol
 	// (paper Fig. 2, n−1 messages).
-	ProtoChain = "chain"
+	ProtoChain = protocol.NameChain
 	// ProtoNonAuth is the non-authenticated baseline ((t+1)(n−1) messages).
-	ProtoNonAuth = "nonauth"
+	ProtoNonAuth = protocol.NameNonAuth
 	// ProtoSmallRange is the binary silence-as-default FD variant (§5).
-	ProtoSmallRange = "smallrange"
+	ProtoSmallRange = protocol.NameSmallRange
 	// ProtoVector is the beyond-paper vector FD composition (n rotated
 	// chain instances sharing rounds).
-	ProtoVector = "vector"
+	ProtoVector = protocol.NameVector
 	// ProtoEIG is the classical OM(t) Byzantine-agreement baseline.
-	ProtoEIG = "eig"
+	ProtoEIG = protocol.NameEIG
+	// ProtoFDBA is the failure-discovery-to-Byzantine-agreement extension
+	// (paper §4): chain FD plus a signed fallback flood on discovery.
+	ProtoFDBA = protocol.NameFDBA
+	// ProtoSM is the signed-messages agreement algorithm SM(t).
+	ProtoSM = protocol.NameSM
 )
 
 // Legacy adversary alias names accepted in Spec.Adversaries, kept from
@@ -110,15 +120,6 @@ type Spec struct {
 	SeedCount int `json:"seed_count"`
 }
 
-// knownProtocols is the accepted Protocols vocabulary.
-var knownProtocols = map[string]bool{
-	ProtoChain:      true,
-	ProtoNonAuth:    true,
-	ProtoSmallRange: true,
-	ProtoVector:     true,
-	ProtoEIG:        true,
-}
-
 // withDefaults returns the spec with empty optional fields resolved.
 func (s Spec) withDefaults() Spec {
 	if len(s.Schemes) == 0 {
@@ -141,8 +142,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("campaign: spec needs at least one protocol")
 	}
 	for _, p := range s.Protocols {
-		if !knownProtocols[p] {
-			return fmt.Errorf("campaign: unknown protocol %q", p)
+		if _, err := protocol.Lookup(p); err != nil {
+			return fmt.Errorf("campaign: %w", err)
 		}
 	}
 	if len(s.Cases) == 0 && len(s.Sizes) == 0 {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/ba"
 	"repro/internal/fd"
 	"repro/internal/keydist"
 	"repro/internal/metrics"
@@ -46,6 +47,16 @@ const (
 	ProtocolNonAuth
 	// ProtocolSmallRange is the binary silence-as-default variant.
 	ProtocolSmallRange
+	// ProtocolFDBA is the Failure-Discovery-to-Byzantine-Agreement
+	// extension (paper §4, Hadzilacos & Halpern): chain FD, then a signed
+	// fallback flood only when a failure was discovered. Unlike the FD
+	// protocols its correct nodes always decide; a phase-1 discovery rides
+	// along in the outcome.
+	ProtocolFDBA
+	// ProtocolSM is the signed-messages Byzantine-agreement algorithm
+	// SM(t) of Lamport, Shostak & Pease: O(n²) messages, tolerates any
+	// t < n under authentication.
+	ProtocolSM
 )
 
 // String implements fmt.Stringer.
@@ -57,8 +68,33 @@ func (p Protocol) String() string {
 		return "nonauth"
 	case ProtocolSmallRange:
 		return "smallrange"
+	case ProtocolFDBA:
+		return "fdba"
+	case ProtocolSM:
+		return "sm"
 	default:
 		return fmt.Sprintf("protocol(%d)", uint8(p))
+	}
+}
+
+// EngineRounds returns the lockstep engine rounds a full run of the
+// protocol needs at fault bound t. This is the round bound
+// RunFailureDiscovery enforces and conformance checks runs against.
+// Every protocol is enumerated: a new Protocol value without a case
+// here panics instead of silently running under the chain bound and
+// truncating its schedule.
+func EngineRounds(p Protocol, t int) int {
+	switch p {
+	case ProtocolChain, ProtocolSmallRange:
+		return fd.ChainEngineRounds(t)
+	case ProtocolNonAuth:
+		return fd.NonAuthEngineRounds(t)
+	case ProtocolFDBA:
+		return ba.FDBAEngineRounds(t)
+	case ProtocolSM:
+		return ba.SMEngineRounds(t)
+	default:
+		panic(fmt.Sprintf("core: EngineRounds has no case for %v", p))
 	}
 }
 
@@ -438,6 +474,24 @@ func (c *Cluster) RunFailureDiscovery(value []byte, opts ...RunOption) (Report, 
 				outcomers[i] = n
 				p = n
 			}
+		case ProtocolFDBA:
+			var n *ba.FDBANode
+			n, err = ba.NewFDBANode(c.cfg, id, c.nodes[i].Signer(), c.nodes[i].Directory(), value)
+			if err == nil {
+				outcomers[i] = n
+				p = n
+			}
+		case ProtocolSM:
+			var nodeOpts []ba.SMOption
+			if id == fd.Sender {
+				nodeOpts = append(nodeOpts, ba.WithSMValue(value))
+			}
+			var n *ba.SMNode
+			n, err = ba.NewSMNode(c.cfg, id, c.nodes[i].Signer(), c.nodes[i].Directory(), nodeOpts...)
+			if err == nil {
+				outcomers[i] = n
+				p = n
+			}
 		default:
 			return Report{}, fmt.Errorf("core: unknown protocol %v", run.protocol)
 		}
@@ -456,11 +510,7 @@ func (c *Cluster) RunFailureDiscovery(value []byte, opts ...RunOption) (Report, 
 	if err != nil {
 		return Report{}, err
 	}
-	maxRounds := fd.ChainEngineRounds(c.cfg.T)
-	if run.protocol == ProtocolNonAuth {
-		maxRounds = fd.NonAuthEngineRounds(c.cfg.T)
-	}
-	res := engine.Run(maxRounds)
+	res := engine.Run(EngineRounds(run.protocol, c.cfg.T))
 
 	rep := Report{
 		Phase:    PhaseFD,

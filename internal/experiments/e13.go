@@ -5,16 +5,20 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/metrics"
+	"repro/internal/protocol"
 	"repro/internal/sig"
 )
 
 // E13AdversaryGrid — the adversary-strategy conformance sweep: every
-// protocol against the composable behavior families (crash, targeted
-// drop, bounded delay, duplicate flood, payload tampering, partitioned
-// equivocation, seeded coalitions), each completed run scored against the
-// paper's predicates (campaign.Verdict). The table is the paper's F1–F3
-// claims as a measured grid: the authenticated protocols stay conformant
-// under every mix, while the expected-failure rows (the simplified
+// registered protocol driver against the composable behavior families
+// (crash, targeted drop, bounded delay, duplicate flood, payload
+// tampering, partitioned equivocation, seeded coalitions), each
+// completed run scored against the paper's predicates
+// (campaign.Verdict). The table is the paper's F1–F3 claims as a
+// measured grid: the authenticated protocols stay conformant under
+// every mix, the full agreement protocols (fdba, sm) additionally hold
+// agreement under their strict reading — discoveries never excuse a
+// split decision — while the expected-failure rows (the simplified
 // small-range variant under suppression) disagree exactly where the
 // theory says they may.
 func E13AdversaryGrid(seeds int) *metrics.Table {
@@ -23,7 +27,7 @@ func E13AdversaryGrid(seeds int) *metrics.Table {
 	}
 	spec := campaign.Spec{
 		Name:      "E13",
-		Protocols: []string{campaign.ProtoChain, campaign.ProtoNonAuth, campaign.ProtoSmallRange, campaign.ProtoVector, campaign.ProtoEIG},
+		Protocols: protocol.Names(),
 		Sizes:     []int{7},
 		Schemes:   []string{sig.SchemeToy},
 		Adversaries: []string{

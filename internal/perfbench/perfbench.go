@@ -226,18 +226,18 @@ func HandshakeRoundTrip(schemeName string) func(b *testing.B) {
 	}
 }
 
-// CampaignChainSweep measures a chain-protocol seed sweep at one fixed
-// (scheme, n, t) cell — the paper's many-runs-one-setup workload. warm
-// runs with the per-worker setup cache (key material and handshake paid
-// once), cold with per-instance fresh setup (the pre-PR-3 behaviour).
-// Single worker, so the two modes differ only in setup reuse; the
-// cached-vs-fresh differential test guarantees both produce the same
-// report, so this benchmark measures pure setup overhead.
-func CampaignChainSweep(n, t, seeds int, warm bool) func(b *testing.B) {
+// CampaignSweep measures a one-protocol seed sweep at one fixed
+// (scheme, n, t) cell — the paper's many-runs-one-setup workload, for
+// any registered protocol driver. warm runs with the per-worker setup
+// cache (key material and handshake paid once), cold with per-instance
+// fresh setup. Single worker, so the two modes differ only in setup
+// reuse; the cached-vs-fresh differential test guarantees both produce
+// the same report, so this benchmark measures pure setup overhead.
+func CampaignSweep(protocol string, n, t, seeds int, warm bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		spec := campaign.Spec{
-			Name:      "bench-chain-sweep",
-			Protocols: []string{campaign.ProtoChain},
+			Name:      "bench-" + protocol + "-sweep",
+			Protocols: []string{protocol},
 			Cases:     []campaign.Case{{N: n, T: t}},
 			SeedBase:  1,
 			SeedCount: seeds,
@@ -260,4 +260,19 @@ func CampaignChainSweep(n, t, seeds int, warm bool) func(b *testing.B) {
 			}
 		}
 	}
+}
+
+// CampaignChainSweep is CampaignSweep over the chain protocol — the
+// perf-trajectory row name every BENCH_<pr>.json since PR 3 carries.
+func CampaignChainSweep(n, t, seeds int, warm bool) func(b *testing.B) {
+	return CampaignSweep(campaign.ProtoChain, n, t, seeds, warm)
+}
+
+// CampaignFDBASweep is CampaignSweep over the FDBA agreement protocol:
+// the same cluster setup cell as chain (one handshake per sweep when
+// warm), but the runs pay the 2t+6-round agreement schedule. Honest
+// sweeps exercise the headline failure-free claim — FDBA costs the same
+// n−1 messages as chain FD.
+func CampaignFDBASweep(n, t, seeds int, warm bool) func(b *testing.B) {
+	return CampaignSweep(campaign.ProtoFDBA, n, t, seeds, warm)
 }

@@ -1,0 +1,144 @@
+package protocol
+
+import (
+	"bytes"
+
+	"repro/internal/adversary"
+	"repro/internal/ba"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// eigDriver runs the OM(t) oral-messages baseline. It has no setup phase
+// at all — nodes hold no keys — so its Capabilities declare
+// CacheableSetup false explicitly: the setup-cache skip is a published
+// property of the driver, asserted by tests, not an implicit branch in
+// the runner.
+type eigDriver struct{}
+
+func (eigDriver) Name() string { return NameEIG }
+
+func (eigDriver) Capabilities() Capabilities {
+	return Capabilities{
+		SupportsEquivocate:    true,
+		RequiresSupermajority: true, // OM(t) needs n > 3t even to run
+		MaxN:                  256,  // byte-packed tree path keys
+	}
+}
+
+func (eigDriver) Verdicts() VerdictMapper { return VerdictsUnauthenticatedFD }
+
+// Prepare implements Driver: OM(t) has nothing to prepare.
+func (eigDriver) Prepare(Instance, *SetupCache) (Setup, error) { return nil, nil }
+
+// equivocateOral is the sender-side equivocation filter for eig: in
+// round 1 the faulty sender reports senderValue to faceOne and
+// altSenderValue to everyone else.
+func equivocateOral(faceOne model.NodeSet) adversary.Filter {
+	alt := ba.MarshalOralEntries([]ba.OralEntry{{Path: []model.NodeID{ba.Sender}, Value: altSenderValue}})
+	return func(round int, out []model.Message) []model.Message {
+		if round != 1 {
+			return out
+		}
+		for i := range out {
+			if out[i].Kind == model.KindOral && !faceOne.Contains(out[i].To) {
+				out[i].Payload = alt
+			}
+		}
+		return out
+	}
+}
+
+func (eigDriver) Run(inst Instance, _ Setup) (Outcome, error) {
+	cfg := inst.Config()
+	strat := inst.Strategy
+	faulty := inst.Faulty()
+	procs := make([]sim.Process, inst.N)
+	nodes := make([]*ba.EIGNode, inst.N)
+	for i := 0; i < inst.N; i++ {
+		id := model.NodeID(i)
+		corrupt := faulty.Contains(id)
+		if corrupt && pureCrash(strat.Behaviors) {
+			procs[i] = sim.Silent{}
+			continue
+		}
+		var opts []ba.EIGOption
+		if id == ba.Sender {
+			opts = append(opts, ba.WithEIGValue(senderValue))
+		}
+		node, err := ba.NewEIGNode(cfg, id, opts...)
+		if err != nil {
+			return Outcome{}, err
+		}
+		if corrupt {
+			// A corrupt node runs OM(t) correctly under its behavior stack;
+			// its own decision does not count (nodes[i] stays nil). The
+			// sender's equivocation uses the oral-entry rewrite — a proper
+			// second face, not a tampered payload.
+			var stack []adversary.Behavior
+			if id == ba.Sender && strat.HasBehavior(adversary.BehaviorEquivocate) {
+				faceOne, err := adversary.PartitionFaceOne(equivocatePartition(strat), inst.N)
+				if err != nil {
+					return Outcome{}, err
+				}
+				stack = append(stack, equivocateOral(faceOne))
+				rest, err := adversary.BuildBehaviors(withoutEquivocate(strat.Behaviors), inst.N)
+				if err != nil {
+					return Outcome{}, err
+				}
+				stack = append(stack, rest...)
+			} else {
+				stack, err = adversary.BuildBehaviors(strat.Behaviors, inst.N)
+				if err != nil {
+					return Outcome{}, err
+				}
+			}
+			procs[i] = adversary.WrapBehaviors(node, stack...)
+			continue
+		}
+		nodes[i] = node
+		procs[i] = node
+	}
+	counters := metrics.NewCounters()
+	maxRounds := ba.EIGEngineRounds(inst.T)
+	simRes, err := sim.RunInstance(cfg, procs, maxRounds, sim.WithCounters(counters))
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{
+		Rounds:     simRes.Rounds,
+		RoundBound: maxRounds,
+		Snapshot:   counters.Snapshot(),
+	}
+
+	agreed := true
+	var first []byte
+	haveFirst := false
+	outcomes := make([]model.Outcome, 0, inst.N)
+	for i, node := range nodes {
+		if node == nil {
+			continue
+		}
+		d := node.Decision()
+		outcomes = append(outcomes, model.Outcome{
+			Node:    model.NodeID(i),
+			Decided: d.Value != nil,
+			Value:   d.Value,
+		})
+		if d.Value == nil {
+			agreed = false
+			continue
+		}
+		if !haveFirst {
+			first, haveFirst = d.Value, true
+		} else if !bytes.Equal(d.Value, first) {
+			agreed = false
+		}
+	}
+	out.Agreed = agreed && haveFirst
+	out.SubRuns = []SubRun{{Sender: ba.Sender, Initial: senderValue, Outcomes: outcomes}}
+	return out, nil
+}
+
+func init() { Register(eigDriver{}) }

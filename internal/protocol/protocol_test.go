@@ -1,0 +1,232 @@
+package protocol
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/sig"
+)
+
+// TestRegistryCompleteness pins the built-in driver set: the seven
+// protocol names, each resolvable, each reporting its own name.
+func TestRegistryCompleteness(t *testing.T) {
+	want := []string{NameChain, NameEIG, NameFDBA, NameNonAuth, NameSM, NameSmallRange, NameVector}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		drv, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if drv.Name() != name {
+			t.Errorf("driver registered under %q reports Name %q", name, drv.Name())
+		}
+		if drv.Verdicts() == nil {
+			t.Errorf("driver %q has no verdict mapper", name)
+		}
+	}
+	if got, want := len(Drivers()), len(want); got != want {
+		t.Errorf("Drivers() returned %d drivers, want %d", got, want)
+	}
+}
+
+// TestLookupErrorEnumeratesRegistry: a typo'd name must tell the user
+// what IS registered instead of failing opaquely.
+func TestLookupErrorEnumeratesRegistry(t *testing.T) {
+	_, err := Lookup("quantum")
+	if err == nil {
+		t.Fatal("Lookup accepted an unregistered name")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("lookup error %q does not enumerate %q", err, name)
+		}
+	}
+}
+
+// TestDeclaredCapabilities pins each built-in driver's declared axes —
+// in particular the explicit setup-cache skips: eig has no setup at all
+// and nonauth's is free, so both declare CacheableSetup false rather
+// than relying on an implicit branch in the runner.
+func TestDeclaredCapabilities(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want Capabilities
+	}{
+		{NameChain, Capabilities{UsesSignatures: true, CacheableSetup: true, SupportsEquivocate: true}},
+		{NameNonAuth, Capabilities{SupportsEquivocate: true}},
+		{NameSmallRange, Capabilities{UsesSignatures: true, CacheableSetup: true}},
+		{NameVector, Capabilities{UsesSignatures: true, CacheableSetup: true}},
+		{NameEIG, Capabilities{SupportsEquivocate: true, RequiresSupermajority: true, MaxN: 256}},
+		{NameFDBA, Capabilities{UsesSignatures: true, CacheableSetup: true, SupportsEquivocate: true}},
+		{NameSM, Capabilities{UsesSignatures: true, CacheableSetup: true, SupportsEquivocate: true}},
+	} {
+		drv, err := Lookup(tc.name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", tc.name, err)
+		}
+		if got := drv.Capabilities(); got != tc.want {
+			t.Errorf("%s: Capabilities = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestUncacheableDriversNeverTouchTheCache: RunInstance must enforce a
+// driver's declared skip — an eig or nonauth run offered a cache leaves
+// it untouched.
+func TestUncacheableDriversNeverTouchTheCache(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		inst Instance
+	}{
+		{NameEIG, Instance{N: 4, T: 1, Seed: 1}},
+		{NameNonAuth, Instance{N: 4, T: 1, Seed: 1}},
+	} {
+		drv, err := Lookup(tc.name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", tc.name, err)
+		}
+		if drv.Capabilities().CacheableSetup {
+			t.Fatalf("%s declares cacheable setup; this test pins the opposite", tc.name)
+		}
+		cache := NewSetupCache(4)
+		out, err := RunInstance(drv, tc.inst, cache)
+		if err != nil {
+			t.Fatalf("%s: RunInstance: %v", tc.name, err)
+		}
+		if cache.Len() != 0 {
+			t.Errorf("%s: declared-uncacheable driver populated the cache (%d entries)", tc.name, cache.Len())
+		}
+		if !out.Agreed {
+			t.Errorf("%s: honest run did not agree", tc.name)
+		}
+	}
+}
+
+// TestCacheableDriversShareClusterCells: the cluster-backed drivers key
+// their setup by kind, not name, so a grid revisiting one
+// (scheme, n, t, keySeed) cell pays a single handshake across chain,
+// smallrange, fdba, and sm.
+func TestCacheableDriversShareClusterCells(t *testing.T) {
+	cache := NewSetupCache(4)
+	inst := Instance{N: 4, T: 1, Scheme: sig.SchemeToy, Seed: 3, KeySeed: 9}
+	for _, name := range []string{NameChain, NameSmallRange, NameFDBA, NameSM} {
+		drv, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if _, err := RunInstance(drv, inst, cache); err != nil {
+			t.Fatalf("%s: RunInstance: %v", name, err)
+		}
+	}
+	if cache.Len() != 1 {
+		t.Errorf("four cluster drivers filled %d cache cells, want 1 shared cell", cache.Len())
+	}
+}
+
+// TestSetupCacheBounded pins the eviction mechanics directly.
+func TestSetupCacheBounded(t *testing.T) {
+	sc := NewSetupCache(2)
+	mk := func(n int) SetupKey {
+		return SetupKey{Kind: SetupKindCluster, Scheme: "toy", N: n, T: 1, KeySeed: 1}
+	}
+	sc.Put(mk(4), 4)
+	sc.Put(mk(5), 5)
+	sc.Put(mk(6), 6) // evicts n=4
+	if sc.Len() != 2 {
+		t.Fatalf("cache holds %d entries, cap is 2", sc.Len())
+	}
+	if _, ok := sc.Get(mk(4)); ok {
+		t.Error("oldest entry was not evicted")
+	}
+	for _, n := range []int{5, 6} {
+		if _, ok := sc.Get(mk(n)); !ok {
+			t.Errorf("entry n=%d missing after eviction", n)
+		}
+	}
+	// Re-putting an existing key replaces in place: no duplicate in the
+	// eviction order, and the NEXT eviction still removes the true oldest.
+	sc.Put(mk(5), 55)
+	if got, _ := sc.Get(mk(5)); got != 55 {
+		t.Errorf("re-put did not replace value: %v", got)
+	}
+	if len(sc.order) != 2 {
+		t.Fatalf("re-put duplicated the eviction order: %v", sc.order)
+	}
+	sc.Put(mk(7), 7) // must evict n=5 (oldest), keep n=6 and n=7
+	if _, ok := sc.Get(mk(5)); ok {
+		t.Error("eviction after re-put removed the wrong entry")
+	}
+	if _, ok := sc.Get(mk(6)); !ok {
+		t.Error("live entry n=6 was evicted")
+	}
+}
+
+// TestCapabilitiesSupports drives the generic expansion rules.
+func TestCapabilitiesSupports(t *testing.T) {
+	equivocate := adversary.Strategy{
+		Nodes:     []int{0},
+		Behaviors: []adversary.BehaviorSpec{{Name: adversary.BehaviorEquivocate}},
+	}
+	crashRelay := adversary.Strategy{
+		Nodes:     []int{1},
+		Behaviors: []adversary.BehaviorSpec{{Name: adversary.BehaviorCrash}},
+	}
+	honest := adversary.Strategy{}
+	eig := Capabilities{RequiresSupermajority: true, MaxN: 256, SupportsEquivocate: true}
+	plain := Capabilities{SupportsEquivocate: true}
+	noEquiv := Capabilities{}
+	for _, tc := range []struct {
+		name  string
+		caps  Capabilities
+		n, t  int
+		strat adversary.Strategy
+		want  bool
+	}{
+		{"honest ok", plain, 4, 1, honest, true},
+		{"invalid config", plain, 1, 0, honest, false},
+		{"supermajority holds", eig, 7, 2, honest, true},
+		{"supermajority violated", eig, 6, 2, honest, false},
+		{"maxN exceeded", eig, 300, 1, honest, false},
+		{"adversary needs t>=1", plain, 4, 0, crashRelay, false},
+		{"corrupt size beyond t", plain, 6, 1, adversary.Strategy{Coalition: 2,
+			Behaviors: []adversary.BehaviorSpec{{Name: adversary.BehaviorCrash}}}, false},
+		{"non-sender corruption needs n>=3", plain, 2, 1, crashRelay, false},
+		{"equivocate supported", plain, 5, 1, equivocate, true},
+		{"equivocate unsupported", noEquiv, 5, 1, equivocate, false},
+	} {
+		if got := tc.caps.Supports(tc.n, tc.t, tc.strat); got != tc.want {
+			t.Errorf("%s: Supports(n=%d, t=%d) = %v, want %v", tc.name, tc.n, tc.t, got, tc.want)
+		}
+	}
+}
+
+// TestVerdictProfiles pins the canned conformance readings.
+func TestVerdictProfiles(t *testing.T) {
+	if VerdictsAuthenticatedFD.MayDisagree(4, 2) || !VerdictsAuthenticatedFD.DiscoveryExempts() {
+		t.Error("authenticated FD profile wrong")
+	}
+	if !VerdictsUnauthenticatedFD.MayDisagree(6, 2) || VerdictsUnauthenticatedFD.MayDisagree(7, 2) {
+		t.Error("unauthenticated FD resilience bound wrong")
+	}
+	if !VerdictsSilenceDefault.MayDisagree(100, 1) {
+		t.Error("silence-default profile must always excuse disagreement")
+	}
+	if VerdictsAgreement.MayDisagree(4, 2) || VerdictsAgreement.DiscoveryExempts() {
+		t.Error("agreement profile must be strict: no excusals, discoveries never exempt")
+	}
+}
+
+// TestRegisterRejectsDuplicates: double registration is a programming
+// error the process must not limp past.
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(eigDriver{})
+}

@@ -1,0 +1,83 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The driver registry. Built-in drivers register from init functions in
+// this package; external drivers (examples, future subsystems) may
+// Register at program start. Names are unique and stable — they key
+// campaign group aggregation and appear verbatim in reports.
+
+// Registered driver names of the built-in protocols.
+const (
+	NameChain      = "chain"
+	NameNonAuth    = "nonauth"
+	NameSmallRange = "smallrange"
+	NameVector     = "vector"
+	NameEIG        = "eig"
+	NameFDBA       = "fdba"
+	NameSM         = "sm"
+)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Driver)
+)
+
+// Register adds a driver to the registry. It panics on an empty name or
+// a duplicate registration: both are programming errors a process must
+// not limp past.
+func Register(d Driver) {
+	name := d.Name()
+	if name == "" {
+		panic("protocol: Register with empty driver name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, ok := registry[name]; ok {
+		panic(fmt.Sprintf("protocol: driver %q registered twice", name))
+	}
+	registry[name] = d
+}
+
+// Lookup resolves a driver by name. The error enumerates the registered
+// names, so a typo in a spec or flag tells the user what IS available
+// instead of failing opaquely.
+func Lookup(name string) (Driver, error) {
+	registryMu.RLock()
+	d, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown protocol %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return d, nil
+}
+
+// Names returns the registered driver names in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drivers returns the registered drivers in Names order.
+func Drivers() []Driver {
+	names := Names()
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Driver, 0, len(names))
+	for _, name := range names {
+		out = append(out, registry[name])
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package protocol
+
+import (
+	"bytes"
+
+	"repro/internal/adversary"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Shared adversary wiring: helpers every driver uses to turn a resolved
+// strategy into per-node processes. The rules here are deliberately
+// protocol-agnostic; anything protocol-specific (a bespoke two-faced
+// sender) is supplied by the driver itself.
+
+// senderValue is the sender's proposal in multi-byte-value protocols. It
+// matches the value package experiments always sent, so campaign-ported
+// tables (E2, E3) keep byte-for-byte continuity with the seed tree's
+// wire traffic.
+var senderValue = []byte("value")
+
+// altSenderValue is the equivocating sender's second face.
+var altSenderValue = []byte("forged")
+
+// pureCrash reports a behavior stack equivalent to a from-the-start
+// crash. Such nodes run as sim.Silent — exactly what the legacy mixes
+// did, and cheaper than stepping a wrapped node whose every send is
+// dropped anyway.
+func pureCrash(specs []adversary.BehaviorSpec) bool {
+	return len(specs) == 1 && specs[0].Name == adversary.BehaviorCrash && specs[0].Round <= 1
+}
+
+// equivocatePartition returns the partition of the stack's first
+// equivocate behavior.
+func equivocatePartition(strat adversary.Strategy) string {
+	for _, b := range strat.Behaviors {
+		if b.Name == adversary.BehaviorEquivocate {
+			return b.Partition
+		}
+	}
+	return ""
+}
+
+// withoutEquivocate filters equivocate out of a behavior stack; used when
+// a bespoke two-faced process replaces the generic filter.
+func withoutEquivocate(specs []adversary.BehaviorSpec) []adversary.BehaviorSpec {
+	var out []adversary.BehaviorSpec
+	for _, b := range specs {
+		if b.Name != adversary.BehaviorEquivocate {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// wrapRemaining applies the non-equivocate remainder of a behavior stack
+// to a bespoke adversarial process.
+func wrapRemaining(p sim.Process, specs []adversary.BehaviorSpec, n int) (sim.Process, error) {
+	rest := withoutEquivocate(specs)
+	if len(rest) == 0 {
+		return p, nil
+	}
+	behaviors, err := adversary.BuildBehaviors(rest, n)
+	if err != nil {
+		return nil, err
+	}
+	return adversary.WrapBehaviors(p, behaviors...), nil
+}
+
+// outcomesAgree reports whether every outcome decided on one identical
+// value. Outcomes belong to correct nodes only (overridden processes
+// report none).
+func outcomesAgree(outcomes []model.Outcome) bool {
+	if len(outcomes) == 0 {
+		return false
+	}
+	var first []byte
+	for i, o := range outcomes {
+		if !o.Decided {
+			return false
+		}
+		if i == 0 {
+			first = o.Value
+			continue
+		}
+		if !bytes.Equal(o.Value, first) {
+			return false
+		}
+	}
+	return true
+}
