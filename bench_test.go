@@ -356,3 +356,11 @@ func BenchmarkCampaignFDBASweep(b *testing.B) {
 	b.Run("cold/n=8_t=2_seeds=100", perfbench.CampaignFDBASweep(8, 2, 100, false))
 	b.Run("warm/n=8_t=2_seeds=100", perfbench.CampaignFDBASweep(8, 2, 100, true))
 }
+
+// BenchmarkSchedChainSweep is the warm chain sweep again, dispatched
+// through the coordinator/worker scheduler over an in-memory pipe: the
+// delta against BenchmarkCampaignChainSweep/warm is the lease/checksum/
+// JSON overhead of crash tolerance when nothing crashes.
+func BenchmarkSchedChainSweep(b *testing.B) {
+	b.Run("n=8_t=2_seeds=100", perfbench.SchedChainSweep(8, 2, 100))
+}

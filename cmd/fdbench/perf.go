@@ -65,6 +65,7 @@ func perfSuite() []namedBench {
 		{"campaign_chain_sweep_warm/n=8_t=2_seeds=100", perfbench.CampaignChainSweep(8, 2, 100, true)},
 		{"campaign_fdba_sweep_cold/n=8_t=2_seeds=100", perfbench.CampaignFDBASweep(8, 2, 100, false)},
 		{"campaign_fdba_sweep_warm/n=8_t=2_seeds=100", perfbench.CampaignFDBASweep(8, 2, 100, true)},
+		{"sched_chain_sweep/n=8_t=2_seeds=100", perfbench.SchedChainSweep(8, 2, 100)},
 	}
 }
 

@@ -21,6 +21,21 @@
 //	fdcampaign -setupcache=false           # regenerate all key material per
 //	                                       # instance (differential baseline)
 //
+// Distributed mode splits the sweep across processes: a coordinator
+// owns the spec and leases instance batches to workers over TCP
+// (internal/sched), surviving worker crashes, stalls, and disconnects
+// by requeueing with backoff and dead-lettering after a bounded retry
+// budget. The report is byte-identical to a single-process run; exit
+// status 3 means the sweep completed with a non-empty dead-letter
+// queue (written via -dlq):
+//
+//	fdcampaign -coordinator :9000 -expect-workers 2 -json out.json -dlq dlq.json
+//	fdcampaign -worker localhost:9000                # as many as you like
+//	fdcampaign -worker localhost:9000 -faults crash@2  # fault-injected worker
+//
+// SIGINT/SIGTERM drain gracefully: in-flight leases are parked in the
+// DLQ and the partial report is still emitted.
+//
 // Adversaries are legacy alias names or composable strategy specs
 // (selector:param,...  — see adversary.ParseStrategy). Because strategy
 // specs use commas internally, multiple -adversaries entries separate on
@@ -44,19 +59,33 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/campaign"
 	"repro/internal/protocol"
+	"repro/internal/sched"
 	"repro/internal/sig"
 )
 
 func main() {
+	var df distFlags
+	flag.StringVar(&df.coordinator, "coordinator", "", "run as campaign coordinator listening on this address; instances are leased to connected -worker processes")
+	flag.StringVar(&df.worker, "worker", "", "run as campaign worker serving the coordinator at this address (grid flags are ignored; the coordinator owns the spec)")
+	flag.StringVar(&df.workerName, "worker-name", "", "worker name in the coordinator's attempt logs (default worker-<pid>)")
+	flag.StringVar(&df.faultSpec, "faults", "", "worker-side fault injection for testing: comma-separated crash@K, stall@K, disconnect@K, corrupt@K, corrupt-all")
+	flag.IntVar(&df.expect, "expect-workers", 1, "coordinator: delay dispatch until this many workers joined")
+	flag.IntVar(&df.batch, "batch", 0, "coordinator: instances per lease (0 = default)")
+	flag.DurationVar(&df.lease, "lease", 0, "coordinator: lease TTL before an unresponsive worker's batch is requeued (0 = default)")
+	flag.IntVar(&df.retries, "retries", 0, "coordinator: attempts per batch before dead-lettering (0 = default)")
+	flag.StringVar(&df.dlqPath, "dlq", "", "coordinator: write the scheduler outcome (stats + dead-letter queue) JSON to this path ('-' = stdout)")
 	var (
 		specPath    = flag.String("spec", "", "path to a JSON campaign spec (overrides the grid flags)")
 		name        = flag.String("name", "fdcampaign", "campaign name used in reports")
@@ -79,6 +108,21 @@ func main() {
 	if *listProtos {
 		listProtocols(os.Stdout)
 		return
+	}
+
+	// SIGINT/SIGTERM cancel the context: a worker stops serving, a
+	// coordinator drains in-flight leases to the DLQ and still emits a
+	// valid partial report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var runOpts []campaign.Option
+	if !*setupCache {
+		runOpts = append(runOpts, campaign.WithoutSetupCache())
+	}
+
+	if df.worker != "" {
+		os.Exit(runWorkerMode(ctx, df, runOpts))
 	}
 
 	var (
@@ -113,11 +157,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "fdcampaign: %d instances across %d protocols\n",
 		len(instances), len(spec.Protocols))
 
-	var runOpts []campaign.Option
-	if !*setupCache {
-		runOpts = append(runOpts, campaign.WithoutSetupCache())
+	var (
+		report  *campaign.Report
+		outcome sched.Outcome
+	)
+	if df.coordinator != "" {
+		report, outcome, err = runCoordinatorMode(ctx, df, spec)
+	} else {
+		report, err = campaign.Run(spec, *workers, runOpts...)
 	}
-	report, err := campaign.Run(spec, *workers, runOpts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -143,6 +191,10 @@ func main() {
 			report.Table().Render(os.Stdout)
 		}
 	}
+	deadLettered := false
+	if df.coordinator != "" {
+		deadLettered = emitOutcome(outcome, df.dlqPath)
+	}
 	if violations := report.Violations(); violations > 0 {
 		fmt.Fprintf(os.Stderr, "fdcampaign: %d conformance violation(s):\n", violations)
 		for _, g := range report.Groups {
@@ -154,6 +206,11 @@ func main() {
 		if *strict {
 			os.Exit(2)
 		}
+	}
+	// DLQ non-emptiness is an exit-status signal of its own: the sweep
+	// COMPLETED, but not every instance executed.
+	if deadLettered {
+		os.Exit(3)
 	}
 }
 

@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 
 	"repro/internal/fd"
 	"repro/internal/keydist"
@@ -34,13 +37,22 @@ func main() {
 		value = flag.String("value", "hello over tcp", "sender's initial value")
 	)
 	flag.Parse()
-	if err := run(*n, *t, *value); err != nil {
+	// SIGINT/SIGTERM close every mesh endpoint, which unblocks the node
+	// goroutines (their Recv fails) so the process exits cleanly instead
+	// of leaving sockets half-open.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *n, *t, *value); err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "fdnet: interrupted, shut down cleanly")
+			os.Exit(0)
+		}
 		fmt.Fprintf(os.Stderr, "fdnet: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, tol int, value string) error {
+func run(ctx context.Context, n, tol int, value string) error {
 	cfg := model.Config{N: n, T: tol}
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -88,11 +100,23 @@ func run(n, tol int, value string) error {
 	if meshErr != nil {
 		return meshErr
 	}
-	defer func() {
+	closeAll := func() {
 		for _, ep := range endpoints {
 			if ep != nil {
 				ep.Close()
 			}
+		}
+	}
+	defer closeAll()
+	// Graceful shutdown: a signal tears the meshes down, failing the
+	// in-progress RunCluster instead of hanging on a dead barrier.
+	watchdog := make(chan struct{})
+	defer close(watchdog)
+	go func() {
+		select {
+		case <-ctx.Done():
+			closeAll()
+		case <-watchdog:
 		}
 	}()
 

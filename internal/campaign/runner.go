@@ -93,28 +93,70 @@ func WithSetupCacheCap(n int) Option {
 	return func(c *runConfig) { c.cacheCap = n }
 }
 
-// Run expands the spec and executes every instance on a sharded worker
-// pool: workers goroutines, worker w owning the instances with
-// Index ≡ w (mod workers). Sharding balances the load (expansion order
-// interleaves cheap and expensive configurations) without a shared work
-// queue, and since every result lands in its instance's slot, the
-// aggregate is identical no matter how the shards raced. workers < 1
-// means one worker per CPU.
-//
-// Each worker owns a bounded setup cache (protocol.SetupCache), so a seed
-// sweep pays key generation and the authentication handshake once per
-// (scheme, n, t) cell per worker instead of once per instance. The cache
-// cannot affect the report: key material is pinned by Instance.KeySeed
-// whether or not it is cached.
-func Run(spec Spec, workers int, opts ...Option) (*Report, error) {
+// Scheduler abstracts HOW a campaign's expanded instances execute: the
+// in-process sharded pool (Local), or the fault-tolerant
+// coordinator/worker scheduler (internal/sched) that leases batches to
+// remote workers over a transport. The contract is positional: Execute
+// returns exactly one Result per instance, slot i holding instances[i]'s
+// outcome, so the engine assembles the report from the slice and any two
+// schedulers that produce the same per-instance results produce
+// byte-identical reports — worker count, placement, and retry history
+// included.
+type Scheduler interface {
+	Execute(spec Spec, instances []Instance) ([]Result, error)
+}
+
+// Executor runs instances one at a time over a private amortized-setup
+// cache; it is the per-worker execution unit every Scheduler builds on
+// (one Executor per local shard, one per remote worker process). Not
+// safe for concurrent use — give each worker its own.
+type Executor struct {
+	cache *protocol.SetupCache
+}
+
+// NewExecutor builds an executor honoring the run options (setup cache
+// enabled by default).
+func NewExecutor(opts ...Option) *Executor {
 	cfg := runConfig{setupCache: true}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	instances, err := Expand(spec)
-	if err != nil {
-		return nil, err
+	e := &Executor{}
+	if cfg.setupCache {
+		e.cache = protocol.NewSetupCache(cfg.cacheCap)
 	}
+	return e
+}
+
+// Run executes one instance, reusing the executor's cached setup where
+// the driver allows it.
+func (e *Executor) Run(inst Instance) Result { return runInstance(inst, e.cache) }
+
+// Local is the in-process sharded Scheduler: workers goroutines, worker
+// w owning the instances with Index ≡ w (mod workers). Sharding balances
+// the load (expansion order interleaves cheap and expensive
+// configurations) without a shared work queue, and since every result
+// lands in its instance's slot, the aggregate is identical no matter how
+// the shards raced. workers < 1 means one worker per CPU.
+//
+// Each shard owns an Executor (bounded protocol.SetupCache), so a seed
+// sweep pays key generation and the authentication handshake once per
+// (scheme, n, t) cell per shard instead of once per instance. The cache
+// cannot affect the report: key material is pinned by Instance.KeySeed
+// whether or not it is cached.
+type Local struct {
+	workers int
+	opts    []Option
+}
+
+// NewLocal builds the in-process scheduler.
+func NewLocal(workers int, opts ...Option) *Local {
+	return &Local{workers: workers, opts: opts}
+}
+
+// Execute implements Scheduler.
+func (l *Local) Execute(_ Spec, instances []Instance) ([]Result, error) {
+	workers := l.workers
 	if workers < 1 {
 		workers = runtime.NumCPU()
 	}
@@ -127,17 +169,40 @@ func Run(spec Spec, workers int, opts ...Option) (*Report, error) {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			var cache *protocol.SetupCache
-			if cfg.setupCache {
-				cache = protocol.NewSetupCache(cfg.cacheCap)
-			}
+			exec := NewExecutor(l.opts...)
 			for i := shard; i < len(instances); i += workers {
-				results[i] = runInstance(instances[i], cache)
+				results[i] = exec.Run(instances[i])
 			}
 		}(w)
 	}
 	wg.Wait()
+	return results, nil
+}
+
+// RunWith expands the spec, executes every instance through the given
+// scheduler, and assembles the canonical report. This is the seam the
+// distributed scheduler plugs into: the expansion and aggregation ends
+// stay in one process (the coordinator), and only the execution middle
+// is pluggable — which is exactly what keeps the report a pure function
+// of the Spec.
+func RunWith(spec Spec, sched Scheduler) (*Report, error) {
+	instances, err := Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	results, err := sched.Execute(spec, instances)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != len(instances) {
+		return nil, fmt.Errorf("campaign: scheduler returned %d results for %d instances", len(results), len(instances))
+	}
 	return assemble(spec.withDefaults(), instances, results), nil
+}
+
+// Run executes the spec on the in-process sharded scheduler; see Local.
+func Run(spec Spec, workers int, opts ...Option) (*Report, error) {
+	return RunWith(spec, NewLocal(workers, opts...))
 }
 
 // groupCount accumulates one group's tallies during assembly.

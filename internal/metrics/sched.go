@@ -1,0 +1,48 @@
+package metrics
+
+import "fmt"
+
+// SchedCounters tallies the fault-tolerant campaign scheduler's control
+// plane: lease traffic, retries, and dead-lettering (internal/sched).
+// They ride in the scheduler's outcome envelope NEXT TO the campaign
+// report, never inside it — the fdcampaign/v1 report is byte-identical
+// regardless of worker count, placement, or retry history, and these
+// counters are precisely the record of that history.
+type SchedCounters struct {
+	// WorkersJoined and WorkersLost count worker arrivals and departures
+	// (disconnects and crashes) over the campaign.
+	WorkersJoined int `json:"workers_joined"`
+	WorkersLost   int `json:"workers_lost"`
+	// LeasesIssued counts batch leases handed to workers, first attempts
+	// and retries alike; LeasesExpired counts leases revoked because the
+	// worker blew its deadline without a heartbeat.
+	LeasesIssued  int `json:"leases_issued"`
+	LeasesExpired int `json:"leases_expired"`
+	// Heartbeats counts deadline extensions granted to live leases.
+	Heartbeats int `json:"heartbeats"`
+	// Nacks counts leases the worker itself rejected.
+	Nacks int `json:"nacks"`
+	// CorruptResults counts result frames that failed checksum or shape
+	// validation; StaleResults counts results for already-revoked leases
+	// (a stalled worker finishing after its lease was reassigned).
+	CorruptResults int `json:"corrupt_results"`
+	StaleResults   int `json:"stale_results"`
+	// Requeues counts batches put back on the queue with backoff after a
+	// failed attempt; ExclusionsRelaxed counts assignments that had to
+	// reuse an excluded worker because no other worker existed.
+	Requeues          int `json:"requeues"`
+	ExclusionsRelaxed int `json:"exclusions_relaxed"`
+	// BatchesCompleted counts successfully collected batches;
+	// DeadLettered counts INSTANCES parked in the dead-letter queue.
+	BatchesCompleted int `json:"batches_completed"`
+	DeadLettered     int `json:"dead_lettered"`
+}
+
+// String renders the counters as a compact one-line summary.
+func (c SchedCounters) String() string {
+	return fmt.Sprintf(
+		"workers=%d(-%d) leases=%d expired=%d heartbeats=%d nacks=%d corrupt=%d stale=%d requeues=%d relaxed=%d completed=%d dead-lettered=%d",
+		c.WorkersJoined, c.WorkersLost, c.LeasesIssued, c.LeasesExpired, c.Heartbeats,
+		c.Nacks, c.CorruptResults, c.StaleResults, c.Requeues, c.ExclusionsRelaxed,
+		c.BatchesCompleted, c.DeadLettered)
+}

@@ -7,6 +7,7 @@ package perfbench
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"fmt"
 	"sync/atomic"
@@ -17,8 +18,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/keydist"
 	"repro/internal/model"
+	"repro/internal/sched"
 	"repro/internal/sig"
 	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 // mustChain builds a hops-layer Ed25519 chain, the directory verifying
@@ -275,4 +278,45 @@ func CampaignChainSweep(n, t, seeds int, warm bool) func(b *testing.B) {
 // n−1 messages as chain FD.
 func CampaignFDBASweep(n, t, seeds int, warm bool) func(b *testing.B) {
 	return CampaignSweep(campaign.ProtoFDBA, n, t, seeds, warm)
+}
+
+// SchedChainSweep measures the SAME 100-seed chain sweep as
+// CampaignChainSweep(warm), but dispatched through the fault-tolerant
+// coordinator/worker scheduler over an in-memory pipe instead of the
+// in-process pool: every batch pays lease framing, SHA-256 payload
+// checksums, and two JSON round-trips. The delta against
+// campaign_chain_sweep_warm in the same BENCH file is therefore the
+// scheduler's pure dispatch overhead — the price of crash tolerance
+// when nothing crashes.
+func SchedChainSweep(n, t, seeds int) func(b *testing.B) {
+	return func(b *testing.B) {
+		spec := campaign.Spec{
+			Name:      "bench-sched-chain-sweep",
+			Protocols: []string{campaign.ProtoChain},
+			Cases:     []campaign.Case{{N: n, T: t}},
+			SeedBase:  1,
+			SeedCount: seeds,
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx := context.Background()
+			coord := sched.NewCoordinator(ctx, sched.Config{})
+			server, client := transport.Pipe()
+			go coord.Attach(server)
+			go sched.RunWorker(ctx, client, sched.WorkerConfig{Name: "bench"})
+			rep, err := campaign.RunWith(spec, coord)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out := coord.Outcome(); len(out.DLQ) != 0 {
+				b.Fatalf("benchmark sweep dead-lettered %d batches", len(out.DLQ))
+			}
+			for _, g := range rep.Groups {
+				if g.Errors != 0 {
+					b.Fatalf("group %s: %d errored instances", g.Key, g.Errors)
+				}
+			}
+		}
+	}
 }

@@ -1,0 +1,191 @@
+package sched
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/sig"
+)
+
+// The scheduler wire protocol: six framed message kinds multiplexed over
+// one transport.Conn per worker. Frames reuse the repository's canonical
+// length-delimited codec (internal/sig), and the two payload-bearing
+// kinds — lease and result — carry a SHA-256 checksum over the payload,
+// so a corrupted frame is DETECTED and treated as a worker fault
+// (requeue elsewhere) instead of silently poisoning the aggregate
+// report. Determinism by construction is only as good as the integrity
+// of the bytes it aggregates.
+
+// Frame kinds. Exported so the fault-injection harness (sched/faults)
+// can trigger on specific traffic without re-parsing whole messages.
+const (
+	// KindHello is the worker's first frame: protocol tag + worker name.
+	KindHello = 1
+	// KindLease carries a leased instance batch coordinator → worker.
+	KindLease = 2
+	// KindResult carries a completed batch's results worker → coordinator.
+	KindResult = 3
+	// KindNack reports a lease the worker could not execute.
+	KindNack = 4
+	// KindHeartbeat extends a running lease's deadline.
+	KindHeartbeat = 5
+	// KindShutdown tells the worker to drain and exit.
+	KindShutdown = 6
+)
+
+// wireTag guards against cross-protocol connections.
+const wireTag = "fdsched/v1"
+
+// FrameKind peeks a frame's kind without decoding the rest (-1 when the
+// frame is too short to carry one).
+func FrameKind(frame []byte) int {
+	if len(frame) < sig.IntFieldSize {
+		return -1
+	}
+	d := sig.NewDecoder(frame)
+	return d.Int()
+}
+
+func encodeHello(name string) []byte {
+	out := make([]byte, 0, sig.IntFieldSize+sig.BytesFieldSize(len(wireTag))+sig.BytesFieldSize(len(name)))
+	out = sig.AppendInt(out, KindHello)
+	out = sig.AppendString(out, wireTag)
+	return sig.AppendString(out, name)
+}
+
+func decodeHello(frame []byte) (name string, err error) {
+	d := sig.NewDecoder(frame)
+	if kind := d.Int(); kind != KindHello {
+		return "", fmt.Errorf("sched: expected hello, got frame kind %d", kind)
+	}
+	if tag := d.String(); tag != wireTag {
+		return "", fmt.Errorf("sched: bad protocol tag %q (want %s)", tag, wireTag)
+	}
+	name = d.String()
+	if ferr := d.Finish(); ferr != nil {
+		return "", fmt.Errorf("sched: bad hello: %w", ferr)
+	}
+	if name == "" {
+		return "", fmt.Errorf("sched: hello with empty worker name")
+	}
+	return name, nil
+}
+
+// leaseMsg is a decoded lease frame.
+type leaseMsg struct {
+	ID       int
+	Attempt  int
+	Deadline int // milliseconds the worker has before the lease expires
+	Payload  []byte
+}
+
+func encodeLease(id, attempt, deadlineMS int, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	out := make([]byte, 0, 4*sig.IntFieldSize+sig.BytesFieldSize(len(sum))+sig.BytesFieldSize(len(payload)))
+	out = sig.AppendInt(out, KindLease)
+	out = sig.AppendInt(out, id)
+	out = sig.AppendInt(out, attempt)
+	out = sig.AppendInt(out, deadlineMS)
+	out = sig.AppendBytes(out, sum[:])
+	return sig.AppendBytes(out, payload)
+}
+
+func decodeLease(frame []byte) (leaseMsg, error) {
+	d := sig.NewDecoder(frame)
+	var m leaseMsg
+	if kind := d.Int(); kind != KindLease {
+		return m, fmt.Errorf("sched: expected lease, got frame kind %d", kind)
+	}
+	m.ID = d.Int()
+	m.Attempt = d.Int()
+	m.Deadline = d.Int()
+	sum := d.Bytes()
+	m.Payload = d.Bytes()
+	if err := d.Finish(); err != nil {
+		return m, fmt.Errorf("sched: bad lease frame: %w", err)
+	}
+	want := sha256.Sum256(m.Payload)
+	if !bytes.Equal(sum, want[:]) {
+		return m, fmt.Errorf("sched: lease %d payload checksum mismatch", m.ID)
+	}
+	return m, nil
+}
+
+// resultMsg is a decoded result frame.
+type resultMsg struct {
+	ID      int
+	Payload []byte
+}
+
+func encodeResult(id int, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	out := make([]byte, 0, 2*sig.IntFieldSize+sig.BytesFieldSize(len(sum))+sig.BytesFieldSize(len(payload)))
+	out = sig.AppendInt(out, KindResult)
+	out = sig.AppendInt(out, id)
+	out = sig.AppendBytes(out, sum[:])
+	return sig.AppendBytes(out, payload)
+}
+
+func decodeResult(frame []byte) (resultMsg, error) {
+	d := sig.NewDecoder(frame)
+	var m resultMsg
+	if kind := d.Int(); kind != KindResult {
+		return m, fmt.Errorf("sched: expected result, got frame kind %d", kind)
+	}
+	m.ID = d.Int()
+	sum := d.Bytes()
+	m.Payload = d.Bytes()
+	if err := d.Finish(); err != nil {
+		return m, fmt.Errorf("sched: bad result frame: %w", err)
+	}
+	want := sha256.Sum256(m.Payload)
+	if !bytes.Equal(sum, want[:]) {
+		return m, fmt.Errorf("sched: result %d payload checksum mismatch", m.ID)
+	}
+	return m, nil
+}
+
+func encodeNack(id int, msg string) []byte {
+	out := make([]byte, 0, 2*sig.IntFieldSize+sig.BytesFieldSize(len(msg)))
+	out = sig.AppendInt(out, KindNack)
+	out = sig.AppendInt(out, id)
+	return sig.AppendString(out, msg)
+}
+
+func decodeNack(frame []byte) (id int, msg string, err error) {
+	d := sig.NewDecoder(frame)
+	if kind := d.Int(); kind != KindNack {
+		return 0, "", fmt.Errorf("sched: expected nack, got frame kind %d", kind)
+	}
+	id = d.Int()
+	msg = d.String()
+	if ferr := d.Finish(); ferr != nil {
+		return 0, "", fmt.Errorf("sched: bad nack frame: %w", ferr)
+	}
+	return id, msg, nil
+}
+
+func encodeHeartbeat(id int) []byte {
+	out := make([]byte, 0, 2*sig.IntFieldSize)
+	out = sig.AppendInt(out, KindHeartbeat)
+	return sig.AppendInt(out, id)
+}
+
+func decodeHeartbeat(frame []byte) (id int, err error) {
+	d := sig.NewDecoder(frame)
+	if kind := d.Int(); kind != KindHeartbeat {
+		return 0, fmt.Errorf("sched: expected heartbeat, got frame kind %d", kind)
+	}
+	id = d.Int()
+	if ferr := d.Finish(); ferr != nil {
+		return 0, fmt.Errorf("sched: bad heartbeat frame: %w", ferr)
+	}
+	return id, nil
+}
+
+func encodeShutdown(reason string) []byte {
+	out := make([]byte, 0, sig.IntFieldSize+sig.BytesFieldSize(len(reason)))
+	out = sig.AppendInt(out, KindShutdown)
+	return sig.AppendString(out, reason)
+}

@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWireRoundTrips(t *testing.T) {
+	name, err := decodeHello(encodeHello("w1"))
+	if err != nil || name != "w1" {
+		t.Fatalf("hello round-trip = %q, %v", name, err)
+	}
+	payload := []byte(`[{"index":0}]`)
+	lease, err := decodeLease(encodeLease(7, 2, 1500, payload))
+	if err != nil {
+		t.Fatalf("lease round-trip: %v", err)
+	}
+	if lease.ID != 7 || lease.Attempt != 2 || lease.Deadline != 1500 || string(lease.Payload) != string(payload) {
+		t.Fatalf("lease round-trip mangled: %+v", lease)
+	}
+	res, err := decodeResult(encodeResult(7, payload))
+	if err != nil || res.ID != 7 || string(res.Payload) != string(payload) {
+		t.Fatalf("result round-trip = %+v, %v", res, err)
+	}
+	id, msg, err := decodeNack(encodeNack(9, "boom"))
+	if err != nil || id != 9 || msg != "boom" {
+		t.Fatalf("nack round-trip = %d, %q, %v", id, msg, err)
+	}
+	if id, err := decodeHeartbeat(encodeHeartbeat(4)); err != nil || id != 4 {
+		t.Fatalf("heartbeat round-trip = %d, %v", id, err)
+	}
+	for kind, frame := range map[int][]byte{
+		KindHello:     encodeHello("x"),
+		KindLease:     encodeLease(1, 1, 1, payload),
+		KindResult:    encodeResult(1, payload),
+		KindNack:      encodeNack(1, ""),
+		KindHeartbeat: encodeHeartbeat(1),
+		KindShutdown:  encodeShutdown("done"),
+	} {
+		if got := FrameKind(frame); got != kind {
+			t.Errorf("FrameKind = %d, want %d", got, kind)
+		}
+	}
+}
+
+func TestWireChecksumCatchesCorruption(t *testing.T) {
+	payload := []byte(`[{"index":0,"agreed":true}]`)
+	for _, tc := range []struct {
+		name  string
+		frame []byte
+	}{
+		{"lease", encodeLease(3, 1, 1000, payload)},
+		{"result", encodeResult(3, payload)},
+	} {
+		frame := append([]byte(nil), tc.frame...)
+		frame[len(frame)-1] ^= 0xFF
+		var err error
+		if tc.name == "lease" {
+			var m leaseMsg
+			m, err = decodeLease(frame)
+			// The ID must survive corruption so the worker can NACK
+			// precisely.
+			if m.ID != 3 {
+				t.Errorf("%s: corrupt frame lost ID: %d", tc.name, m.ID)
+			}
+		} else {
+			_, err = decodeResult(frame)
+		}
+		if err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Errorf("%s: corrupted payload decoded without checksum error: %v", tc.name, err)
+		}
+	}
+	// A hello from a different protocol is refused by tag.
+	if _, err := decodeHello(encodeLease(1, 1, 1, payload)); err == nil {
+		t.Error("decodeHello accepted a lease frame")
+	}
+}
+
+func TestBackoffDelayDeterministicAndCapped(t *testing.T) {
+	cfg := Config{BackoffBase: 50 * time.Millisecond, BackoffMax: 2 * time.Second}.withDefaults()
+	if a, b := cfg.backoffDelay(3, 2), cfg.backoffDelay(3, 2); a != b {
+		t.Fatalf("backoff not deterministic: %v vs %v", a, b)
+	}
+	if a, b := cfg.backoffDelay(3, 1), cfg.backoffDelay(4, 1); a == b {
+		t.Fatalf("jitter did not separate batches: both %v", a)
+	}
+	for attempt := 1; attempt <= 20; attempt++ {
+		d := cfg.backoffDelay(0, attempt)
+		if d < cfg.BackoffBase || d > cfg.BackoffMax+cfg.BackoffMax/4 {
+			t.Fatalf("attempt %d: delay %v outside [base, max+max/4]", attempt, d)
+		}
+	}
+	// The exponential portion grows until the cap.
+	if cfg.backoffDelay(0, 1) >= cfg.BackoffMax {
+		t.Fatal("first retry already at cap")
+	}
+}
+
+func TestConfigWithDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.BatchSize < 1 || c.LeaseTTL <= 0 || c.RetryBudget < 1 ||
+		c.BackoffBase <= 0 || c.BackoffMax <= 0 || c.MinWorkers < 1 || c.NoWorkerGrace <= 0 {
+		t.Fatalf("zero Config did not default every field: %+v", c)
+	}
+}

@@ -22,6 +22,7 @@ import (
 type TCPMesh struct {
 	self  model.NodeID
 	n     int
+	cfg   meshConfig
 	conns map[model.NodeID]net.Conn
 
 	mu     sync.Mutex
@@ -31,6 +32,42 @@ type TCPMesh struct {
 	closed  chan struct{}
 	once    sync.Once
 	readers sync.WaitGroup
+
+	failMu  sync.Mutex
+	failErr error
+}
+
+// meshConfig carries the mesh tunables; the zero value preserves the
+// historical behavior (no I/O deadlines, 10 s dial window).
+type meshConfig struct {
+	ioTimeout  time.Duration
+	dialWindow time.Duration
+}
+
+func (c meshConfig) withDefaults() meshConfig {
+	if c.dialWindow == 0 {
+		c.dialWindow = dialRetryWindow
+	}
+	return c
+}
+
+// MeshOption configures NewTCPMesh.
+type MeshOption func(*meshConfig)
+
+// WithMeshIOTimeout bounds every read and write on the mesh's
+// connections. Without it a single dead peer blocks its reader (and the
+// lockstep barrier behind it) forever; with it the silence is detected,
+// the mesh shuts down, and Recv returns an error naming the peer — the
+// runner fails fast instead of hanging. Pick a deadline comfortably
+// above the slowest expected round.
+func WithMeshIOTimeout(d time.Duration) MeshOption {
+	return func(c *meshConfig) { c.ioTimeout = d }
+}
+
+// WithMeshDialWindow bounds how long boot-time dials keep retrying
+// (default 10 s).
+func WithMeshDialWindow(d time.Duration) MeshOption {
+	return func(c *meshConfig) { c.dialWindow = d }
 }
 
 // maxFrameSize bounds one frame (16 MiB), matching the codec's field cap.
@@ -42,14 +79,19 @@ const tcpInboxBuffer = 4096
 // NewTCPMesh constructs the mesh for node self. addrs maps every node ID
 // (including self) to its listen address. The call blocks until the full
 // mesh is connected, so all nodes must be started concurrently.
-func NewTCPMesh(self model.NodeID, addrs map[model.NodeID]string) (*TCPMesh, error) {
+func NewTCPMesh(self model.NodeID, addrs map[model.NodeID]string, opts ...MeshOption) (*TCPMesh, error) {
 	n := len(addrs)
 	if !self.Valid(n) {
 		return nil, fmt.Errorf("transport: self %v out of range for %d nodes", self, n)
 	}
+	var cfg meshConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	m := &TCPMesh{
 		self:   self,
 		n:      n,
+		cfg:    cfg.withDefaults(),
 		conns:  make(map[model.NodeID]net.Conn, n-1),
 		sendMu: make([]sync.Mutex, n),
 		inbox:  make(chan envelope, tcpInboxBuffer),
@@ -85,11 +127,11 @@ func NewTCPMesh(self model.NodeID, addrs map[model.NodeID]string) (*TCPMesh, err
 		acceptErr <- nil
 	}()
 
-	// ...and dial all lower-ID peers. Dials retry briefly: when a whole
-	// cluster boots concurrently, a peer's listener may come up a moment
-	// after our first attempt.
+	// ...and dial all lower-ID peers. Dials retry with capped backoff:
+	// when a whole cluster boots concurrently, a peer's listener may come
+	// up a moment after our first attempt.
 	for p := model.NodeID(0); p < self; p++ {
-		conn, err := dialWithRetry(addrs[p])
+		conn, err := dialBackoff(addrs[p], m.cfg.dialWindow)
 		if err != nil {
 			return nil, fmt.Errorf("transport: dial %v at %s: %w", p, addrs[p], err)
 		}
@@ -118,22 +160,6 @@ func NewTCPMesh(self model.NodeID, addrs map[model.NodeID]string) (*TCPMesh, err
 // dialRetryWindow bounds how long a boot-time dial keeps retrying.
 const dialRetryWindow = 10 * time.Second
 
-// dialWithRetry dials addr, retrying for up to dialRetryWindow while the
-// peer's listener is still coming up.
-func dialWithRetry(addr string) (net.Conn, error) {
-	deadline := time.Now().Add(dialRetryWindow)
-	for {
-		conn, err := net.Dial("tcp", addr)
-		if err == nil {
-			return conn, nil
-		}
-		if time.Now().After(deadline) {
-			return nil, err
-		}
-		time.Sleep(25 * time.Millisecond)
-	}
-}
-
 var _ Transport = (*TCPMesh)(nil)
 
 // Self implements Transport.
@@ -160,6 +186,11 @@ func (m *TCPMesh) Send(to model.NodeID, frame []byte) error {
 	}
 	m.sendMu[to].Lock()
 	defer m.sendMu[to].Unlock()
+	if m.cfg.ioTimeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(m.cfg.ioTimeout)); err != nil {
+			return err
+		}
+	}
 	return writeFrame(conn, frame)
 }
 
@@ -169,12 +200,40 @@ func (m *TCPMesh) Recv() (model.NodeID, []byte, error) {
 	case env := <-m.inbox:
 		return env.from, env.frame, nil
 	case <-m.closed:
+		if err := m.failure(); err != nil {
+			return model.NoNode, nil, err
+		}
 		return model.NoNode, nil, ErrClosed
 	}
 }
 
-// Close implements Transport.
-func (m *TCPMesh) Close() error {
+// fail records the first peer failure and tears the mesh down so every
+// blocked Recv unblocks with the failure instead of hanging on a barrier
+// a dead peer will never complete. A deliberate Close is not a failure.
+func (m *TCPMesh) fail(peer model.NodeID, err error) {
+	select {
+	case <-m.closed:
+		return // already shutting down
+	default:
+	}
+	m.failMu.Lock()
+	if m.failErr == nil {
+		m.failErr = fmt.Errorf("transport: peer %v failed: %w", peer, err)
+	}
+	m.failMu.Unlock()
+	m.shutdown()
+}
+
+// failure returns the recorded peer failure, if any.
+func (m *TCPMesh) failure() error {
+	m.failMu.Lock()
+	defer m.failMu.Unlock()
+	return m.failErr
+}
+
+// shutdown closes the mesh without waiting for the readers (Close waits;
+// fail is called FROM a reader and must not).
+func (m *TCPMesh) shutdown() {
 	m.once.Do(func() {
 		close(m.closed)
 		m.mu.Lock()
@@ -183,17 +242,34 @@ func (m *TCPMesh) Close() error {
 		}
 		m.mu.Unlock()
 	})
+}
+
+// Close implements Transport.
+func (m *TCPMesh) Close() error {
+	m.shutdown()
 	m.readers.Wait()
 	return nil
 }
 
-// readLoop pumps frames from one connection into the shared inbox.
+// readLoop pumps frames from one connection into the shared inbox. With
+// an I/O deadline configured, a peer that stays silent past it is
+// reported through fail, which shuts the whole mesh down — the lockstep
+// barrier cannot make progress without every peer anyway.
 func (m *TCPMesh) readLoop(peer model.NodeID, conn net.Conn) {
 	defer m.readers.Done()
 	for {
+		if m.cfg.ioTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(m.cfg.ioTimeout)); err != nil {
+				m.fail(peer, err)
+				return
+			}
+		}
 		frame, err := readFrame(conn)
 		if err != nil {
-			return // connection closed or corrupted; the barrier times out
+			if m.cfg.ioTimeout > 0 {
+				m.fail(peer, err)
+			}
+			return // without a deadline: closed or corrupted; barrier times out
 		}
 		select {
 		case m.inbox <- envelope{from: peer, frame: frame}:
