@@ -29,11 +29,12 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV")
 		withRSA = flag.Bool("rsa", false, "include RSA in E10 (slow)")
 		perf    = flag.String("perf", "", "run the headline hot-path benchmarks and write them as JSON to this path (skips the experiment tables)")
+		label   = flag.String("perf-label", "", "label stamped into the -perf report, e.g. BENCH_7 (default $BENCH_LABEL)")
 	)
 	flag.Parse()
 
 	if *perf != "" {
-		if err := runPerfSuite(*perf); err != nil {
+		if err := runPerfSuite(*perf, *label); err != nil {
 			fmt.Fprintf(os.Stderr, "fdbench: perf suite: %v\n", err)
 			os.Exit(1)
 		}

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"testing"
 	"time"
 
 	"repro/internal/perfbench"
+	"repro/internal/report"
 	"repro/internal/sig"
 )
 
@@ -16,29 +18,10 @@ import (
 // (internal/perfbench — the same closures bench_test.go runs), runnable
 // from the fdbench binary (no `go test` needed) and serialized as JSON
 // so the perf trajectory across PRs is machine-readable. BENCH_<pr>.json
-// files accumulate at the repo root; PERF.md describes the methodology.
-
-// perfSchema identifies the JSON layout for downstream tooling.
-const perfSchema = "fdbench-perf/v1"
-
-// perfResult is one benchmark's headline numbers.
-type perfResult struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	Iterations  int     `json:"iterations"`
-}
-
-// perfReport is the whole emitted document.
-type perfReport struct {
-	Schema     string       `json:"schema"`
-	GoVersion  string       `json:"go_version"`
-	GOOS       string       `json:"goos"`
-	GOARCH     string       `json:"goarch"`
-	Timestamp  string       `json:"timestamp"`
-	Benchmarks []perfResult `json:"benchmarks"`
-}
+// files accumulate at the repo root; PERF.md describes the methodology
+// and `fdreport diff` gates consecutive files against a threshold.
+// The schema and document types live in internal/report (the consumer),
+// so the writer and the differ cannot drift apart.
 
 type namedBench struct {
 	name string
@@ -69,20 +52,43 @@ func perfSuite() []namedBench {
 	}
 }
 
+// gitCommit best-effort identifies the build's source revision: the
+// vcs.revision baked in by `go build` when the module is built from a
+// git checkout, else the GIT_COMMIT environment variable (CI builds
+// from tarballs), else empty.
+func gitCommit() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return os.Getenv("GIT_COMMIT")
+}
+
 // runPerfSuite executes the headline benchmarks and writes the JSON
-// report to path.
-func runPerfSuite(path string) error {
-	report := perfReport{
-		Schema:    perfSchema,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
+// report to path. label names the run in the perf trajectory (usually
+// the BENCH_<pr> tag); empty falls back to the BENCH_LABEL environment
+// variable.
+func runPerfSuite(path, label string) error {
+	if label == "" {
+		label = os.Getenv("BENCH_LABEL")
+	}
+	rep := report.PerfReport{
+		Schema:     report.PerfSchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitCommit:  gitCommit(),
+		Label:      label,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, bm := range perfSuite() {
 		fmt.Fprintf(os.Stderr, "perf: %s...\n", bm.name)
 		res := testing.Benchmark(bm.fn)
-		report.Benchmarks = append(report.Benchmarks, perfResult{
+		rep.Benchmarks = append(rep.Benchmarks, report.PerfResult{
 			Name:        bm.name,
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerOp: res.AllocsPerOp(),
@@ -90,7 +96,7 @@ func runPerfSuite(path string) error {
 			Iterations:  res.N,
 		})
 	}
-	data, err := json.MarshalIndent(report, "", "  ")
+	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -98,6 +104,6 @@ func runPerfSuite(path string) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "perf: wrote %s (%d benchmarks)\n", path, len(report.Benchmarks))
+	fmt.Fprintf(os.Stderr, "perf: wrote %s (%d benchmarks)\n", path, len(rep.Benchmarks))
 	return nil
 }

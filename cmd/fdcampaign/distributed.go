@@ -4,12 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sched/faults"
 	"repro/internal/transport"
@@ -26,6 +28,9 @@ type distFlags struct {
 	lease       time.Duration
 	retries     int
 	dlqPath     string // where the scheduler outcome JSON goes ("" = stderr summary)
+	debugAddr   string // coordinator live-telemetry HTTP address ("" = off)
+
+	observer *obs.Recorder // -trace-out recorder (nil = tracing off)
 }
 
 // runWorkerMode dials the coordinator and serves leases until it sends
@@ -81,8 +86,19 @@ func runCoordinatorMode(ctx context.Context, df distFlags, spec campaign.Spec) (
 		LeaseTTL:    df.lease,
 		RetryBudget: df.retries,
 		MinWorkers:  df.expect,
+		Observer:    df.observer,
 	})
 	go coord.Serve(listener)
+	if df.debugAddr != "" {
+		dbg := &http.Server{Addr: df.debugAddr, Handler: coord.DebugMux()}
+		defer dbg.Close()
+		go func() {
+			fmt.Fprintf(os.Stderr, "fdcampaign: debug endpoint on http://%s/debug/sched\n", df.debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "fdcampaign: debug endpoint: %v\n", err)
+			}
+		}()
+	}
 	report, err := campaign.RunWith(spec, coord)
 	if err != nil {
 		return nil, sched.Outcome{}, err

@@ -20,6 +20,8 @@
 //	fdcampaign -json -                     # JSON to stdout
 //	fdcampaign -setupcache=false           # regenerate all key material per
 //	                                       # instance (differential baseline)
+//	fdcampaign -trace-out run.jsonl        # structured event trace (instance
+//	                                       # spans; report bytes unchanged)
 //
 // Distributed mode splits the sweep across processes: a coordinator
 // owns the spec and leases instance batches to workers over TCP
@@ -30,6 +32,8 @@
 // queue (written via -dlq):
 //
 //	fdcampaign -coordinator :9000 -expect-workers 2 -json out.json -dlq dlq.json
+//	fdcampaign -coordinator :9000 -debug-addr :9090  # live /debug/sched + pprof
+//	fdcampaign -coordinator :9000 -trace-out sched.jsonl  # scheduler lifecycle trace
 //	fdcampaign -worker localhost:9000                # as many as you like
 //	fdcampaign -worker localhost:9000 -faults crash@2  # fault-injected worker
 //
@@ -70,6 +74,7 @@ import (
 	"syscall"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/sched"
 	"repro/internal/sig"
@@ -86,6 +91,7 @@ func main() {
 	flag.DurationVar(&df.lease, "lease", 0, "coordinator: lease TTL before an unresponsive worker's batch is requeued (0 = default)")
 	flag.IntVar(&df.retries, "retries", 0, "coordinator: attempts per batch before dead-lettering (0 = default)")
 	flag.StringVar(&df.dlqPath, "dlq", "", "coordinator: write the scheduler outcome (stats + dead-letter queue) JSON to this path ('-' = stdout)")
+	flag.StringVar(&df.debugAddr, "debug-addr", "", "coordinator: serve live telemetry over HTTP on this address (/debug/sched JSON snapshot, /debug/vars, /debug/pprof)")
 	var (
 		specPath    = flag.String("spec", "", "path to a JSON campaign spec (overrides the grid flags)")
 		name        = flag.String("name", "fdcampaign", "campaign name used in reports")
@@ -102,6 +108,7 @@ func main() {
 		jsonOut     = flag.String("json", "", "write the machine-readable report to this path ('-' = stdout)")
 		csv         = flag.Bool("csv", false, "render the summary table as CSV")
 		strict      = flag.Bool("strict", false, "exit with status 2 when any instance violates a conformance predicate")
+		traceOut    = flag.String("trace-out", "", "write a structured JSONL event trace (instance spans, scheduler lifecycle) to this path; reports stay byte-identical either way")
 	)
 	flag.Parse()
 
@@ -121,8 +128,25 @@ func main() {
 		runOpts = append(runOpts, campaign.WithoutSetupCache())
 	}
 
+	// The trace is a pure reader: enabling it cannot change a report
+	// byte (the campaign invariance tests pin that), so it is safe to
+	// leave on for any run. Worker and local modes trace their executors'
+	// instance spans; coordinator mode traces the scheduler lifecycle.
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		sink, err := obs.CreateJSONL(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		rec = obs.NewRecorder(sink)
+		runOpts = append(runOpts, campaign.WithObserver(rec))
+	}
+	df.observer = rec
+
 	if df.worker != "" {
-		os.Exit(runWorkerMode(ctx, df, runOpts))
+		code := runWorkerMode(ctx, df, runOpts)
+		closeTrace(rec, *traceOut)
+		os.Exit(code)
 	}
 
 	var (
@@ -166,6 +190,7 @@ func main() {
 	} else {
 		report, err = campaign.Run(spec, *workers, runOpts...)
 	}
+	closeTrace(rec, *traceOut)
 	if err != nil {
 		fatal(err)
 	}
@@ -247,6 +272,19 @@ func listProtocols(w io.Writer) {
 		fmt.Fprintf(w, "%-12s %-9s %-12s %-11s %s\n",
 			d.Name(), schemes, cache, equivocate, strings.Join(axes, ", "))
 	}
+}
+
+// closeTrace flushes and closes the -trace-out recorder (no-op when
+// tracing is off) and reports where the trace went.
+func closeTrace(rec *obs.Recorder, path string) {
+	if !rec.Enabled() {
+		return
+	}
+	if err := rec.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "fdcampaign: trace: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "fdcampaign: wrote trace %s\n", path)
 }
 
 // splitList parses a comma-separated list, dropping empty items.

@@ -8,6 +8,8 @@
 //
 //	fdnet -n 5 -t 1
 //	fdnet -n 8 -t 2 -value "deploy v2.1"
+//	fdnet -n 5 -t 1 -trace -                # per-delivery trace to stderr
+//	fdnet -n 5 -t 1 -trace run.trace        # ... or to a file
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"crypto/rand"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -35,6 +38,7 @@ func main() {
 		n     = flag.Int("n", 5, "number of nodes")
 		t     = flag.Int("t", 1, "fault bound")
 		value = flag.String("value", "hello over tcp", "sender's initial value")
+		trace = flag.String("trace", "", "write a per-delivery message trace to this path ('-' = stderr)")
 	)
 	flag.Parse()
 	// SIGINT/SIGTERM close every mesh endpoint, which unblocks the node
@@ -42,7 +46,7 @@ func main() {
 	// of leaving sockets half-open.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *n, *t, *value); err != nil {
+	if err := run(ctx, *n, *t, *value, *trace); err != nil {
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "fdnet: interrupted, shut down cleanly")
 			os.Exit(0)
@@ -52,7 +56,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, n, tol int, value string) error {
+func run(ctx context.Context, n, tol int, value, trace string) error {
 	cfg := model.Config{N: n, T: tol}
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -61,6 +65,26 @@ func run(ctx context.Context, n, tol int, value string) error {
 	if err != nil {
 		return err
 	}
+
+	// Optional delivery trace, shared by every node's runner: the same
+	// buffered WriterTracer the simulator uses, so a socket run's trace
+	// compares line for line with fdsim's.
+	var runOpts []transport.RunnerOption
+	if trace != "" {
+		w := io.Writer(os.Stderr)
+		if trace != "-" {
+			f, err := os.Create(trace)
+			if err != nil {
+				return err
+			}
+			w = f
+		}
+		tracer := sim.NewWriterTracer(w)
+		defer tracer.Close()
+		runOpts = append(runOpts, transport.WithRunnerTracer(tracer))
+	}
+	// Wire-level traffic counters, aggregated across all n meshes.
+	var wire transport.ConnStats
 
 	// Reserve one localhost port per node.
 	addrs := make(map[model.NodeID]string, n)
@@ -86,7 +110,7 @@ func run(ctx context.Context, n, tol int, value string) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			m, err := transport.NewTCPMesh(model.NodeID(i), addrs)
+			m, err := transport.NewTCPMesh(model.NodeID(i), addrs, transport.WithMeshStats(&wire))
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil && meshErr == nil {
@@ -132,7 +156,7 @@ func run(ctx context.Context, n, tol int, value string) error {
 		kdProcs[i] = node
 	}
 	counters := metrics.NewCounters()
-	if _, err := transport.RunCluster(endpoints, kdProcs, keydist.RoundsTotal, counters); err != nil {
+	if _, err := transport.RunCluster(endpoints, kdProcs, keydist.RoundsTotal, counters, runOpts...); err != nil {
 		return err
 	}
 	fmt.Printf("\nkey distribution over TCP: %s\n", counters.Snapshot())
@@ -160,12 +184,13 @@ func run(ctx context.Context, n, tol int, value string) error {
 		fdProcs[i] = node
 	}
 	fdCounters := metrics.NewCounters()
-	if _, err := transport.RunCluster(endpoints, fdProcs, fd.ChainEngineRounds(tol), fdCounters); err != nil {
+	if _, err := transport.RunCluster(endpoints, fdProcs, fd.ChainEngineRounds(tol), fdCounters, runOpts...); err != nil {
 		return err
 	}
 	fmt.Printf("\nfailure discovery over TCP: %s\n", fdCounters.Snapshot())
 	for _, node := range fdNodes {
 		fmt.Printf("  %s\n", node.Outcome())
 	}
+	fmt.Printf("wire: %s\n", wire.Snapshot())
 	return nil
 }

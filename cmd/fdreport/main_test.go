@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func writePerf(t *testing.T, dir, name string, ns float64) string {
+	t.Helper()
+	rep := report.PerfReport{
+		Schema: report.PerfSchema, GoVersion: "go1.24",
+		Benchmarks: []report.PerfResult{{Name: "bench", NsPerOp: ns, Iterations: 10}},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestExitCodes pins the CLI contract CI builds on: 0 clean, 1 error,
+// 2 regression.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	old := writePerf(t, dir, "old.json", 1000)
+	same := writePerf(t, dir, "same.json", 1000)
+	slow := writePerf(t, dir, "slow.json", 2000)
+
+	if code := run([]string{"diff", old, same}); code != 0 {
+		t.Errorf("clean diff exited %d, want 0", code)
+	}
+	if code := run([]string{"diff", old, slow}); code != 2 {
+		t.Errorf("regressed diff exited %d, want 2", code)
+	}
+	if code := run([]string{"diff", "-threshold", "200", old, slow}); code != 0 {
+		t.Errorf("within-threshold diff exited %d, want 0", code)
+	}
+	if code := run([]string{"diff", old, filepath.Join(dir, "missing.json")}); code != 1 {
+		t.Errorf("missing file exited %d, want 1", code)
+	}
+	if code := run([]string{"bogus"}); code != 1 {
+		t.Errorf("unknown subcommand exited %d, want 1", code)
+	}
+	if code := run(nil); code != 1 {
+		t.Errorf("no args exited %d, want 1", code)
+	}
+}
+
+// TestTraceSubcommand smoke-tests the JSONL aggregation path.
+func TestTraceSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	lines := `{"ts":1,"kind":"begin","scope":"campaign.instance","inst":0,"node":-1}
+{"ts":2,"kind":"end","scope":"campaign.instance","inst":0,"node":-1,"dur":1000000}
+`
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"trace", path}); code != 0 {
+		t.Errorf("trace exited %d, want 0", code)
+	}
+	if code := run([]string{"trace", filepath.Join(dir, "nope.jsonl")}); code != 1 {
+		t.Errorf("missing trace exited %d, want 1", code)
+	}
+}

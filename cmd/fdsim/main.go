@@ -9,7 +9,8 @@
 //	fdsim -n 8 -t 2 -protocol fdba          # FD→BA agreement extension
 //	fdsim -n 8 -t 2 -protocol sm            # SM(t) signed messages
 //	fdsim -n 8 -t 2 -fault silent-relay     # inject a fault
-//	fdsim -n 8 -t 2 -trace                  # log every delivered message
+//	fdsim -n 8 -t 2 -trace -                # log every delivery to stderr
+//	fdsim -n 8 -t 2 -trace run.trace        # ... or to a file
 package main
 
 import (
@@ -33,17 +34,40 @@ func main() {
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		value    = flag.String("value", "example-value", "sender's initial value")
 		fault    = flag.String("fault", "", "inject: silent-relay | silent-sender | tamper-relay | equivocating-sender")
+		trace    = flag.String("trace", "", "write a per-delivery message trace to this path ('-' = stderr)")
 	)
 	flag.Parse()
-	if err := run(*n, *t, *runs, *protocol, *scheme, *seed, *value, *fault); err != nil {
+	if err := run(*n, *t, *runs, *protocol, *scheme, *seed, *value, *fault, *trace); err != nil {
 		fmt.Fprintf(os.Stderr, "fdsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, t, runs int, protocol, scheme string, seed int64, value, fault string) error {
-	cluster, err := core.New(model.Config{N: n, T: t},
-		core.WithScheme(scheme), core.WithSeed(seed))
+// openTracer builds the buffered delivery tracer for -trace; the
+// returned WriterTracer's Close flushes (and closes the file when one
+// was opened).
+func openTracer(path string) (*sim.WriterTracer, error) {
+	if path == "-" {
+		return sim.NewWriterTracer(os.Stderr), nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewWriterTracer(f), nil
+}
+
+func run(n, t, runs int, protocol, scheme string, seed int64, value, fault, trace string) error {
+	coreOpts := []core.Option{core.WithScheme(scheme), core.WithSeed(seed)}
+	if trace != "" {
+		tracer, err := openTracer(trace)
+		if err != nil {
+			return err
+		}
+		defer tracer.Close()
+		coreOpts = append(coreOpts, core.WithTracer(tracer))
+	}
+	cluster, err := core.New(model.Config{N: n, T: t}, coreOpts...)
 	if err != nil {
 		return err
 	}

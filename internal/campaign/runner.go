@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -73,6 +74,18 @@ type Option func(*runConfig)
 type runConfig struct {
 	setupCache bool
 	cacheCap   int
+	rec        *obs.Recorder
+}
+
+// WithObserver attaches a structured-event recorder to the run: every
+// executor stamps one "campaign.instance" span per instance with its
+// wall-time, verdict, and setup-cache outcome. Observation is a pure
+// reader — the report stays byte-identical with or without it
+// (TestReportObserverInvariance) — so wall-clock timing, which the
+// deterministic report deliberately omits, lives only in the trace.
+// Recorders are safe to share across the local scheduler's shards.
+func WithObserver(rec *obs.Recorder) Option {
+	return func(c *runConfig) { c.rec = rec }
 }
 
 // WithoutSetupCache disables the per-worker amortized-setup cache,
@@ -112,6 +125,7 @@ type Scheduler interface {
 // safe for concurrent use — give each worker its own.
 type Executor struct {
 	cache *protocol.SetupCache
+	rec   *obs.Recorder
 }
 
 // NewExecutor builds an executor honoring the run options (setup cache
@@ -121,7 +135,7 @@ func NewExecutor(opts ...Option) *Executor {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	e := &Executor{}
+	e := &Executor{rec: cfg.rec}
 	if cfg.setupCache {
 		e.cache = protocol.NewSetupCache(cfg.cacheCap)
 	}
@@ -129,8 +143,38 @@ func NewExecutor(opts ...Option) *Executor {
 }
 
 // Run executes one instance, reusing the executor's cached setup where
-// the driver allows it.
-func (e *Executor) Run(inst Instance) Result { return runInstance(inst, e.cache) }
+// the driver allows it. With an observer attached it brackets the run
+// in a "campaign.instance" span carrying the wall-time and verdict the
+// deterministic report cannot.
+func (e *Executor) Run(inst Instance) Result {
+	if !e.rec.Enabled() {
+		return runInstance(inst, e.cache)
+	}
+	hitsBefore := 0
+	if e.cache != nil {
+		hitsBefore, _ = e.cache.Stats()
+	}
+	span := e.rec.Begin(obs.Event{Scope: "campaign.instance",
+		Inst: inst.Index, Proto: inst.Protocol, Node: -1,
+		Attrs: obs.Attrs("group", inst.GroupKey(), "seed", inst.Seed)})
+	res := runInstance(inst, e.cache)
+	verdict := "ok"
+	if res.Err != "" {
+		verdict = "err"
+	}
+	cacheState := "off"
+	if e.cache != nil {
+		if hits, _ := e.cache.Stats(); hits > hitsBefore {
+			cacheState = "hit"
+		} else {
+			cacheState = "miss"
+		}
+	}
+	span.End(obs.Attrs("verdict", verdict, "agreed", res.Agreed,
+		"discovered", res.Discovered, "conformant", res.Conformance.Conformant(),
+		"cache", cacheState))
+	return res
+}
 
 // Local is the in-process sharded Scheduler: workers goroutines, worker
 // w owning the instances with Index ≡ w (mod workers). Sharding balances

@@ -30,6 +30,7 @@ import (
 	"repro/internal/keydist"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sig"
 	"repro/internal/sim"
 )
@@ -132,6 +133,15 @@ type Cluster struct {
 	established bool
 
 	ledger *Ledger
+
+	// rec receives structured phase spans and per-round engine events
+	// when set (WithObserver); nil — the default — is the disabled
+	// recorder and costs one nil check per phase. Tracing is a pure
+	// reader: it never changes a report.
+	rec *obs.Recorder
+	// tracer additionally observes every delivered message in both
+	// phases (WithTracer), e.g. a sim.WriterTracer behind a -trace flag.
+	tracer sim.Tracer
 }
 
 // Option configures a Cluster.
@@ -179,6 +189,28 @@ func WithKeySeed(keySeed int64) Option {
 	return func(c *Cluster) error {
 		c.keyPinned = true
 		c.keyEntropy = keyEntropyFor(keySeed)
+		return nil
+	}
+}
+
+// WithObserver attaches a structured-event recorder: the cluster emits
+// "core.keydist" and "core.fdrun" spans around its phases and per-round
+// "sim.round" spans from the engines underneath. A nil recorder is the
+// disabled default; observation never changes protocol behaviour or
+// report contents.
+func WithObserver(rec *obs.Recorder) Option {
+	return func(c *Cluster) error {
+		c.rec = rec
+		return nil
+	}
+}
+
+// WithTracer attaches a message tracer (e.g. sim.WriterTracer) to every
+// engine the cluster runs, across both phases. It composes with
+// WithObserver via sim.MultiTracer.
+func WithTracer(t sim.Tracer) Option {
+	return func(c *Cluster) error {
+		c.tracer = t
 		return nil
 	}
 }
@@ -232,6 +264,35 @@ func (c *Cluster) Ledger() *Ledger { return c.ledger }
 
 // Established reports whether local authentication has been set up.
 func (c *Cluster) Established() bool { return c.established }
+
+// engineTracer combines the cluster's message tracer and, when an
+// observer is attached, a fresh per-run obs.EngineTracer. nil when the
+// run needs no tracing at all — the engine then skips the tracer seam
+// entirely.
+func (c *Cluster) engineTracer(proto string) sim.Tracer {
+	var et sim.Tracer
+	if c.rec.Enabled() {
+		et = obs.NewEngineTracer(c.rec, -1, proto)
+	}
+	switch {
+	case c.tracer == nil:
+		return et // may be nil: no tracing
+	case et == nil:
+		return c.tracer
+	default:
+		return sim.MultiTracer(c.tracer, et)
+	}
+}
+
+// newEngine builds the run engine, attaching the tracer seam only when
+// one is live — the disabled path must not pay even the options-slice
+// allocation (one per instance adds up across a sweep).
+func (c *Cluster) newEngine(proto string, procs []sim.Process, counters *metrics.Counters) (*sim.Engine, error) {
+	if t := c.engineTracer(proto); t != nil {
+		return sim.New(c.cfg, procs, sim.WithCounters(counters), sim.WithTracer(t))
+	}
+	return sim.New(c.cfg, procs, sim.WithCounters(counters))
+}
 
 // Reset re-arms the cluster for a new deterministic run sequence under
 // seed without paying setup again: the ledger is cleared and the
@@ -325,6 +386,7 @@ func WithKeyDistProcess(id model.NodeID, p sim.Process) KeyDistOption {
 // directory. It returns the phase report; the traffic is also added to
 // the cluster ledger under PhaseKeyDist.
 func (c *Cluster) EstablishAuthentication(opts ...KeyDistOption) (Report, error) {
+	span := c.rec.Begin(obs.Event{Scope: "core.keydist", Inst: -1, Node: -1, Proto: "keydist"})
 	run := keyDistRun{overrides: make(map[model.NodeID]sim.Process)}
 	for _, opt := range opts {
 		opt(&run)
@@ -345,7 +407,7 @@ func (c *Cluster) EstablishAuthentication(opts ...KeyDistOption) (Report, error)
 		procs[i] = n
 	}
 	counters := metrics.NewCounters()
-	engine, err := sim.New(c.cfg, procs, sim.WithCounters(counters))
+	engine, err := c.newEngine("keydist", procs, counters)
 	if err != nil {
 		return Report{}, err
 	}
@@ -367,6 +429,10 @@ func (c *Cluster) EstablishAuthentication(opts ...KeyDistOption) (Report, error)
 		}
 	}
 	c.ledger.Add(rep)
+	if c.rec.Enabled() {
+		span.End(obs.Attrs("rounds", rep.Rounds, "msgs", rep.Snapshot.Messages,
+			"bytes", rep.Snapshot.Bytes, "discoveries", len(rep.Discoveries)))
+	}
 	return rep, nil
 }
 
@@ -421,6 +487,8 @@ func (c *Cluster) RunFailureDiscovery(value []byte, opts ...RunOption) (Report, 
 	if run.protocol != ProtocolNonAuth && !c.established {
 		return Report{}, errors.New("core: establish authentication before running an authenticated protocol")
 	}
+	span := c.rec.Begin(obs.Event{Scope: "core.fdrun", Inst: -1, Node: -1,
+		Proto: run.protocol.String()})
 
 	procs := make([]sim.Process, c.cfg.N)
 	outcomers := make([]fd.Outcomer, c.cfg.N)
@@ -506,7 +574,7 @@ func (c *Cluster) RunFailureDiscovery(value []byte, opts ...RunOption) (Report, 
 	}
 
 	counters := metrics.NewCounters()
-	engine, err := sim.New(c.cfg, procs, sim.WithCounters(counters))
+	engine, err := c.newEngine(run.protocol.String(), procs, counters)
 	if err != nil {
 		return Report{}, err
 	}
@@ -529,5 +597,9 @@ func (c *Cluster) RunFailureDiscovery(value []byte, opts ...RunOption) (Report, 
 		}
 	}
 	c.ledger.Add(rep)
+	if c.rec.Enabled() {
+		span.End(obs.Attrs("rounds", rep.Rounds, "msgs", rep.Snapshot.Messages,
+			"bytes", rep.Snapshot.Bytes, "discoveries", len(rep.Discoveries)))
+	}
 	return rep, nil
 }

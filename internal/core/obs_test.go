@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestClusterObserverSpans checks the cluster's instrumentation end to
+// end: phase spans for both lifecycle steps, per-round engine spans
+// underneath them, and composition with a message tracer — all without
+// changing what the reports say.
+func TestClusterObserverSpans(t *testing.T) {
+	cfg := model.Config{N: 4, T: 1}
+
+	bare, err := New(cfg, WithSeed(7))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := bare.EstablishAuthentication(); err != nil {
+		t.Fatalf("EstablishAuthentication: %v", err)
+	}
+	bareRep, err := bare.RunFailureDiscovery([]byte("v"))
+	if err != nil {
+		t.Fatalf("RunFailureDiscovery: %v", err)
+	}
+
+	sink := &obs.MemorySink{}
+	rec := obs.NewRecorder(sink)
+	var traceBuf bytes.Buffer
+	tracer := sim.NewWriterTracer(&traceBuf)
+	c, err := New(cfg, WithSeed(7), WithObserver(rec), WithTracer(tracer))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := c.EstablishAuthentication(); err != nil {
+		t.Fatalf("EstablishAuthentication: %v", err)
+	}
+	rep, err := c.RunFailureDiscovery([]byte("v"))
+	if err != nil {
+		t.Fatalf("RunFailureDiscovery: %v", err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Observation is a pure reader: the observed run reports exactly what
+	// the bare run did.
+	if rep.Rounds != bareRep.Rounds || rep.Snapshot.Messages != bareRep.Snapshot.Messages ||
+		rep.Snapshot.Bytes != bareRep.Snapshot.Bytes {
+		t.Errorf("observed report %v differs from bare report %v", rep, bareRep)
+	}
+
+	for _, scope := range []string{"core.keydist", "core.fdrun"} {
+		evs := sink.Scoped(scope)
+		if len(evs) != 2 {
+			t.Fatalf("scope %s has %d events, want begin+end", scope, len(evs))
+		}
+		end := evs[1]
+		if end.Kind != obs.KindEnd || end.Dur <= 0 {
+			t.Errorf("scope %s end event malformed: %+v", scope, end)
+		}
+		if !strings.Contains(end.Attrs, "msgs=") {
+			t.Errorf("scope %s end attrs %q missing traffic", scope, end.Attrs)
+		}
+	}
+	if got := sink.Scoped("core.fdrun")[0].Proto; got != "chain" {
+		t.Errorf("fdrun span proto = %q, want chain", got)
+	}
+
+	// Engine rounds surfaced through the same recorder: one begin/end
+	// pair per executed round across both phases.
+	rounds := sink.Scoped("sim.round")
+	if len(rounds) == 0 || len(rounds)%2 != 0 {
+		t.Fatalf("sim.round events = %d, want a positive even count", len(rounds))
+	}
+
+	// The message tracer composed alongside: every delivered message got
+	// a line.
+	if !strings.Contains(traceBuf.String(), "P0 -> P1") {
+		t.Errorf("message tracer saw no deliveries:\n%.200s", traceBuf.String())
+	}
+}

@@ -41,6 +41,46 @@ func TestPercentileNearestRank(t *testing.T) {
 	}
 }
 
+func TestDistAllEqualValues(t *testing.T) {
+	// A degenerate sample set (every value identical) must collapse every
+	// summary field to that value — the regression differ relies on equal
+	// inputs producing exactly equal Dists, no float residue.
+	var s Series
+	for i := 0; i < 7; i++ {
+		s.Add(42)
+	}
+	d := s.Dist()
+	want := Dist{Count: 7, Min: 42, Max: 42, Mean: 42, P50: 42, P99: 42}
+	if d != want {
+		t.Errorf("all-equal Dist = %+v, want %+v", d, want)
+	}
+}
+
+func TestDistEvenCountPercentileEdges(t *testing.T) {
+	// Nearest-rank on an even count: p50 of [1,2,3,4] is the 2nd sample
+	// (ceil(0.5*4) = 2), NOT the 2.5 interpolation; p99 is the last.
+	// Two samples pin the smallest even case.
+	var s Series
+	s.AddInt(10)
+	s.AddInt(20)
+	d := s.Dist()
+	if d.P50 != 10 || d.P99 != 20 {
+		t.Errorf("two-sample p50=%v p99=%v, want 10/20", d.P50, d.P99)
+	}
+	// p1 through p25 of 4 samples all land on the first sample
+	// (ceil(p/100*4) = 1 for p <= 25); p26 crosses to the second.
+	sorted := []float64{1, 2, 3, 4}
+	if got := percentile(sorted, 25); got != 1 {
+		t.Errorf("p25 of 4 = %v, want 1", got)
+	}
+	if got := percentile(sorted, 26); got != 2 {
+		t.Errorf("p26 of 4 = %v, want 2", got)
+	}
+	if got := percentile(sorted, 100); got != 4 {
+		t.Errorf("p100 of 4 = %v, want 4", got)
+	}
+}
+
 func TestDistDoesNotDisturbSeries(t *testing.T) {
 	var s Series
 	s.Add(3)

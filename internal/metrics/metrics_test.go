@@ -65,6 +65,43 @@ func TestCountersConcurrent(t *testing.T) {
 	}
 }
 
+// TestCountersConcurrentReadersAndWriters interleaves Record with
+// Snapshot and the scalar accessors from concurrent goroutines: the
+// transport runners share one Counters across nodes while fdnet reads
+// progress, so the mixed read/write path must be race-clean (this test
+// is the -race probe for it).
+func TestCountersConcurrentReadersAndWriters(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.Record(model.Message{From: model.NodeID(i), To: 0, Round: j, Kind: model.KindEcho, Payload: []byte{1, 2}})
+			}
+		}(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s := c.Snapshot()
+				if s.Messages < 0 || s.Bytes < 0 {
+					t.Error("snapshot went negative")
+					return
+				}
+				_ = c.Messages()
+				_ = c.LastRound()
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Messages != 800 || s.Bytes != 1600 {
+		t.Errorf("final snapshot msgs=%d bytes=%d, want 800/1600", s.Messages, s.Bytes)
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tbl := NewTable("demo title", "name", "count")
 	tbl.AddRow("alpha", 1)

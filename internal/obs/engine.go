@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/model"
+)
+
+// EngineTracer adapts a Recorder onto the simulator's extended Tracer
+// seam (sim.Tracer + sim.RoundTracer): it emits one "sim.round"
+// begin/end span per engine round, stamped with the instance and
+// protocol it was built for and the round's delivered/sent counts.
+// Per-message Delivered callbacks only bump a counter — a trace scales
+// with rounds, not with traffic (use sim.WriterTracer when every
+// message matters).
+//
+// One EngineTracer observes one engine run; it is not safe for
+// concurrent use across engines (build one per run, they are two words
+// plus a timestamp).
+type EngineTracer struct {
+	rec       *Recorder
+	inst      int
+	proto     string
+	round     int
+	start     time.Time
+	delivered int
+}
+
+// NewEngineTracer builds a tracer for one engine run of instance inst
+// (-1 outside campaigns) running proto. Callers guard with
+// rec.Enabled(): a tracer over a nil recorder records nothing but still
+// pays the interface dispatch.
+func NewEngineTracer(rec *Recorder, inst int, proto string) *EngineTracer {
+	return &EngineTracer{rec: rec, inst: inst, proto: proto}
+}
+
+// Delivered implements sim.Tracer.
+func (t *EngineTracer) Delivered(model.Message) { t.delivered++ }
+
+// RoundStart implements sim.RoundTracer.
+func (t *EngineTracer) RoundStart(round int) {
+	t.round = round
+	t.start = time.Now()
+	t.delivered = 0
+	t.rec.Emit(Event{Kind: KindBegin, Scope: "sim.round",
+		Inst: t.inst, Proto: t.proto, Round: round, Node: -1})
+}
+
+// RoundEnd implements sim.RoundTracer.
+func (t *EngineTracer) RoundEnd(round, sent int) {
+	t.rec.Emit(Event{Kind: KindEnd, Scope: "sim.round",
+		Inst: t.inst, Proto: t.proto, Round: round, Node: -1,
+		Dur:   int64(time.Since(t.start)),
+		Attrs: Attrs("delivered", t.delivered, "sent", sent)})
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsDisabledAndSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	// Every entry point must no-op, not panic.
+	r.Emit(Event{Kind: KindPoint, Scope: "x"})
+	r.Point("x", "k=v")
+	sp := r.Begin(Event{Scope: "span"})
+	sp.End("done=1")
+	if err := r.Flush(); err != nil {
+		t.Fatalf("Flush on nil recorder: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close on nil recorder: %v", err)
+	}
+	if NewRecorder(nil) != nil {
+		t.Fatal("NewRecorder(nil sink) should be the disabled recorder")
+	}
+}
+
+func TestRecorderBuffersAndFlushes(t *testing.T) {
+	sink := &MemorySink{}
+	r := NewRecorder(sink, WithRingSize(4))
+	for i := 0; i < 3; i++ {
+		r.Point("p", "")
+	}
+	if got := len(sink.Events()); got != 0 {
+		t.Fatalf("sink saw %d events before the ring filled", got)
+	}
+	r.Point("p", "") // fourth event fills the ring
+	if got := len(sink.Events()); got != 4 {
+		t.Fatalf("sink saw %d events after ring fill, want 4", got)
+	}
+	r.Point("tail", "")
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.Events()); got != 5 {
+		t.Fatalf("Close did not flush the tail: %d events", got)
+	}
+}
+
+func TestSpanDurationsAndScopes(t *testing.T) {
+	sink := &MemorySink{}
+	r := NewRecorder(sink)
+	sp := r.Begin(Event{Scope: "work", Inst: 7, Proto: "chain", Node: -1, Attrs: "phase=a"})
+	time.Sleep(2 * time.Millisecond)
+	sp.End("outcome=ok")
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs := sink.Scoped("work")
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want begin+end", len(evs))
+	}
+	begin, end := evs[0], evs[1]
+	if begin.Kind != KindBegin || end.Kind != KindEnd {
+		t.Fatalf("kinds = %s,%s", begin.Kind, end.Kind)
+	}
+	if begin.Attrs != "phase=a" || end.Attrs != "outcome=ok" {
+		t.Fatalf("attrs = %q,%q", begin.Attrs, end.Attrs)
+	}
+	if end.Inst != 7 || end.Proto != "chain" {
+		t.Fatalf("end lost its identity: %+v", end)
+	}
+	if end.Dur < int64(time.Millisecond) {
+		t.Fatalf("span duration %dns implausibly small", end.Dur)
+	}
+	if end.TS < begin.TS {
+		t.Fatalf("timestamps not monotonic: begin=%d end=%d", begin.TS, end.TS)
+	}
+}
+
+func TestRecorderConcurrentEmit(t *testing.T) {
+	sink := &MemorySink{}
+	r := NewRecorder(sink, WithRingSize(8))
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Point("concurrent", "")
+			}
+		}()
+	}
+	wg.Wait()
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.Events()); got != goroutines*each {
+		t.Fatalf("recorded %d events, want %d", got, goroutines*each)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	r := NewRecorder(sink)
+	r.Point("a", "k=1")
+	sp := r.Begin(Event{Scope: "b", Inst: 3, Node: 2})
+	sp.End("")
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("JSONL has %d lines, want 3:\n%s", lines, buf.String())
+	}
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("round-tripped %d events, want 3", len(events))
+	}
+	if events[0].Scope != "a" || events[0].Attrs != "k=1" || events[0].Inst != -1 {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[1].Inst != 3 || events[1].Node != 2 {
+		t.Fatalf("event 1 lost scoping: %+v", events[1])
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	if got := Attrs("a", 1, "b", "x"); got != "a=1 b=x" {
+		t.Fatalf("Attrs = %q", got)
+	}
+	if got := Attrs(); got != "" {
+		t.Fatalf("empty Attrs = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd Attrs did not panic")
+		}
+	}()
+	Attrs("only-key")
+}

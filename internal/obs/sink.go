@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// Sink receives event batches from recorders. Implementations must be
+// safe for concurrent use: several per-worker recorders may share one
+// sink (the campaign's local shards all draining into one JSONL file).
+type Sink interface {
+	// Write persists one batch. The slice is only valid for the call.
+	Write(events []Event) error
+	// Close flushes and releases the sink.
+	Close() error
+}
+
+// MemorySink retains every event, for assertions in tests.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Write implements Sink.
+func (s *MemorySink) Write(events []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, events...)
+	return nil
+}
+
+// Close implements Sink.
+func (s *MemorySink) Close() error { return nil }
+
+// Events returns a copy of everything recorded so far.
+func (s *MemorySink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Scoped returns the recorded events with the given scope, in order.
+func (s *MemorySink) Scoped(scope string) []Event {
+	var out []Event
+	for _, e := range s.Events() {
+		if e.Scope == scope {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// JSONLSink writes one JSON object per line through a buffered writer,
+// so a trace costs one syscall per buffer, not per event.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer // closed by Close when non-nil (file-backed sinks)
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w. If w is an io.Closer it is closed by Close.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	s := &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// CreateJSONL creates (truncating) a JSONL trace file at path.
+func CreateJSONL(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewJSONLSink(f), nil
+}
+
+// Write implements Sink.
+func (s *JSONLSink) Write(events []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range events {
+		if err := s.enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Sink: it flushes the buffer and closes the
+// underlying writer when it is a Closer.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.bw.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadJSONL parses a JSONL trace stream back into events — the read
+// side of JSONLSink, used by fdreport's trace summaries and the tests.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// ReadJSONLFile reads a JSONL trace file from disk.
+func ReadJSONLFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}

@@ -62,6 +62,8 @@ type SetupCache struct {
 	cap     int
 	entries map[SetupKey]any
 	order   []SetupKey // insertion order; index 0 evicts first
+	hits    int
+	misses  int
 }
 
 // NewSetupCache returns an empty cache bounded to capacity entries
@@ -73,9 +75,15 @@ func NewSetupCache(capacity int) *SetupCache {
 	return &SetupCache{cap: capacity, entries: make(map[SetupKey]any, capacity)}
 }
 
-// Get returns the cached value under k, if any.
+// Get returns the cached value under k, if any, counting the lookup as
+// a hit or miss for the Stats amortization readout.
 func (sc *SetupCache) Get(k SetupKey) (any, bool) {
 	v, ok := sc.entries[k]
+	if ok {
+		sc.hits++
+	} else {
+		sc.misses++
+	}
 	return v, ok
 }
 
@@ -98,6 +106,11 @@ func (sc *SetupCache) Put(k SetupKey, v any) {
 
 // Len returns the number of cached cells (for tests).
 func (sc *SetupCache) Len() int { return len(sc.entries) }
+
+// Stats returns the lifetime hit/miss lookup counts — the measured form
+// of the amortization the cache exists for. hits+misses is the number
+// of Get calls; a warm sweep shows hits ≈ instances − cells.
+func (sc *SetupCache) Stats() (hits, misses int) { return sc.hits, sc.misses }
 
 // ClusterSetup returns the instance's cluster, established when
 // establish is set. With a cache, the (scheme, n, t, keySeed) cell is

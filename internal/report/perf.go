@@ -1,0 +1,60 @@
+// Package report implements the analytics layer over the repository's
+// JSON artifacts: fdcampaign/v1 campaign reports, fdbench-perf/v1
+// benchmark suites, and obs JSONL traces. It diffs two artifacts of the
+// same schema for conformance deltas and metric regressions against a
+// threshold, renders sweep tables, and aggregates traces by scope —
+// cmd/fdreport is a thin CLI over it, and CI uses the diff as the perf
+// regression gate on the pinned BENCH trajectory.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// PerfSchema identifies the fdbench-perf/v1 JSON layout (emitted by
+// `fdbench -perf`, one BENCH_<pr>.json per PR at the repo root).
+const PerfSchema = "fdbench-perf/v1"
+
+// PerfResult is one benchmark's headline numbers.
+type PerfResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// PerfReport is a full fdbench-perf/v1 document. The metadata block
+// records where the numbers came from: fdbench stamps the Go version,
+// GOMAXPROCS, the git commit when the binary carries VCS build info,
+// and a free-form label (typically the PR), so two BENCH files are
+// comparable with their provenance attached.
+type PerfReport struct {
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs,omitempty"`
+	GitCommit  string       `json:"git_commit,omitempty"`
+	Label      string       `json:"label,omitempty"`
+	Timestamp  string       `json:"timestamp"`
+	Benchmarks []PerfResult `json:"benchmarks"`
+}
+
+// LoadPerf reads and validates an fdbench-perf/v1 file.
+func LoadPerf(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("report: parse %s: %w", path, err)
+	}
+	if rep.Schema != PerfSchema {
+		return nil, fmt.Errorf("report: %s has schema %q, want %q", path, rep.Schema, PerfSchema)
+	}
+	return &rep, nil
+}

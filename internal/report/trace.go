@@ -1,0 +1,78 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// ScopeSummary aggregates one event scope across a trace: how many
+// events it produced, how many were closed spans, and the span-duration
+// profile. This is the operator's first view of a JSONL trace — where
+// the wall-time went, scope by scope.
+type ScopeSummary struct {
+	Scope  string
+	Events int // all events in the scope, any kind
+	Spans  int // KindEnd events, i.e. completed spans
+	Total  time.Duration
+	Mean   time.Duration
+	Max    time.Duration
+}
+
+// LoadTrace reads an obs JSONL trace file.
+func LoadTrace(path string) ([]obs.Event, error) {
+	return obs.ReadJSONLFile(path)
+}
+
+// AggregateTrace folds a trace into per-scope summaries, sorted by
+// descending total span time (ties by scope name) so the expensive
+// scopes lead.
+func AggregateTrace(events []obs.Event) []ScopeSummary {
+	byScope := make(map[string]*ScopeSummary)
+	for _, e := range events {
+		s := byScope[e.Scope]
+		if s == nil {
+			s = &ScopeSummary{Scope: e.Scope}
+			byScope[e.Scope] = s
+		}
+		s.Events++
+		if e.Kind == obs.KindEnd {
+			s.Spans++
+			d := time.Duration(e.Dur)
+			s.Total += d
+			if d > s.Max {
+				s.Max = d
+			}
+		}
+	}
+	out := make([]ScopeSummary, 0, len(byScope))
+	for _, s := range byScope {
+		if s.Spans > 0 {
+			s.Mean = s.Total / time.Duration(s.Spans)
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Scope < out[j].Scope
+	})
+	return out
+}
+
+// TraceTable renders scope summaries as a human table.
+func TraceTable(sums []ScopeSummary) *metrics.Table {
+	tbl := metrics.NewTable(fmt.Sprintf("Trace — %d scopes", len(sums)),
+		"scope", "events", "spans", "total", "mean", "max")
+	for _, s := range sums {
+		tbl.AddRow(s.Scope, s.Events, s.Spans,
+			s.Total.Round(time.Microsecond).String(),
+			s.Mean.Round(time.Microsecond).String(),
+			s.Max.Round(time.Microsecond).String())
+	}
+	return tbl
+}

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -28,6 +30,11 @@ type Coordinator struct {
 	mu      sync.Mutex
 	started bool
 	outcome Outcome
+
+	// snap is the live scheduler view behind Debug and the /debug/sched
+	// endpoint: the run loop republishes it on every state change, readers
+	// load it lock-free at any time mid-run.
+	snap atomic.Pointer[DebugSnapshot]
 }
 
 // link is a handshaken worker connection awaiting adoption by the loop.
@@ -126,6 +133,10 @@ type workerState struct {
 	conn transport.Conn
 	busy *leaseState // the lease the worker holds (live or revoked)
 	gone bool
+	// lastBeat is when the worker's latest heartbeat arrived (zero until
+	// the first one); it feeds the heartbeat-age column of the debug
+	// snapshot and the gap attribute of heartbeat telemetry.
+	lastBeat time.Time
 }
 
 // leaseState is one issued lease.
@@ -136,6 +147,7 @@ type leaseState struct {
 	timer    *time.Timer
 	deadline time.Time
 	start    time.Time
+	span     obs.Span // open "sched.lease" span; zero when telemetry is off
 }
 
 // Event kinds posted to the loop.
@@ -173,6 +185,8 @@ type runLoop struct {
 	rr        int // round-robin cursor over workers for fair lease spread
 	noWorkers time.Time // since when zero workers are connected (zero value: workers exist)
 	outcome   *Outcome
+	rec       *obs.Recorder // telemetry sink (Config.Observer; nil = off)
+	snap      *atomic.Pointer[DebugSnapshot]
 }
 
 // Execute implements campaign.Scheduler. It blocks until every batch is
@@ -199,6 +213,8 @@ func (c *Coordinator) Execute(_ campaign.Spec, instances []campaign.Instance) ([
 		done:      c.done,
 		noWorkers: time.Now(),
 		outcome:   &Outcome{Schema: OutcomeSchema},
+		rec:       c.cfg.Observer,
+		snap:      &c.snap,
 	}
 	for lo := 0; lo < len(instances); lo += c.cfg.BatchSize {
 		hi := lo + c.cfg.BatchSize
@@ -210,6 +226,7 @@ func (c *Coordinator) Execute(_ campaign.Spec, instances []campaign.Instance) ([
 		})
 	}
 	r.remaining = len(r.tasks)
+	r.publish(time.Now())
 
 	wake := time.NewTimer(time.Hour)
 	defer wake.Stop()
@@ -220,6 +237,7 @@ func (c *Coordinator) Execute(_ campaign.Spec, instances []campaign.Instance) ([
 			break
 		}
 		r.dispatch(now)
+		r.publish(time.Now())
 		if r.remaining == 0 {
 			break
 		}
@@ -250,6 +268,11 @@ func (c *Coordinator) Execute(_ campaign.Spec, instances []campaign.Instance) ([
 	}
 	for _, l := range r.inflight {
 		l.timer.Stop()
+	}
+	r.publish(time.Now())
+	if r.rec.Enabled() {
+		r.rec.Point("sched.done", obs.Attrs("instances", len(instances),
+			"dead_lettered", r.outcome.Stats.DeadLettered))
 	}
 	c.mu.Lock()
 	c.outcome = *r.outcome
@@ -303,6 +326,9 @@ func (r *runLoop) addWorker(l *link) {
 	r.joined++
 	r.outcome.Stats.WorkersJoined++
 	r.noWorkers = time.Time{}
+	if r.rec.Enabled() {
+		r.rec.Point("sched.worker.join", obs.Attrs("worker", name))
+	}
 	go func() {
 		for {
 			frame, err := w.conn.Recv()
@@ -390,6 +416,11 @@ func (r *runLoop) issue(t *taskState, w *workerState, now time.Time) {
 	w.busy = l
 	r.inflight[id] = l
 	r.outcome.Stats.LeasesIssued++
+	if r.rec.Enabled() {
+		l.span = r.rec.Begin(obs.Event{Scope: "sched.lease", Inst: -1, Node: -1,
+			Attrs: obs.Attrs("lease", id, "batch", t.id, "worker", w.name,
+				"attempt", len(t.attempts)+1, "size", t.hi-t.lo)})
+	}
 	l.timer = time.AfterFunc(r.cfg.LeaseTTL, func() { r.post(event{kind: evExpiry, lease: id}) })
 }
 
@@ -410,6 +441,10 @@ func (r *runLoop) handle(ev event) {
 			return
 		}
 		r.outcome.Stats.LeasesExpired++
+		if r.rec.Enabled() {
+			r.rec.Point("sched.lease.expired", obs.Attrs("lease", l.id,
+				"batch", l.task.id, "worker", l.w.name))
+		}
 		// The worker stays marked busy: it may still be crunching the
 		// revoked lease. It becomes assignable again only when it reports
 		// a (stale) terminal message or disconnects.
@@ -419,9 +454,19 @@ func (r *runLoop) handle(ev event) {
 		case KindHeartbeat:
 			if id, err := decodeHeartbeat(ev.frame); err == nil {
 				if l := r.inflight[id]; l != nil && l.w == ev.w {
-					l.deadline = time.Now().Add(r.cfg.LeaseTTL)
+					now := time.Now()
+					l.deadline = now.Add(r.cfg.LeaseTTL)
 					l.timer.Reset(r.cfg.LeaseTTL)
 					r.outcome.Stats.Heartbeats++
+					if r.rec.Enabled() {
+						since := l.start
+						if !ev.w.lastBeat.IsZero() {
+							since = ev.w.lastBeat
+						}
+						r.rec.Point("sched.heartbeat", obs.Attrs("worker", ev.w.name,
+							"lease", id, "gap_ms", now.Sub(since).Milliseconds()))
+					}
+					ev.w.lastBeat = now
 				}
 			}
 		case KindResult:
@@ -483,6 +528,10 @@ func (r *runLoop) handleResult(w *workerState, frame []byte) {
 	t.lease = nil
 	r.remaining--
 	r.outcome.Stats.BatchesCompleted++
+	if r.rec.Enabled() {
+		l.span.End(obs.Attrs("outcome", "ok", "lease", l.id, "batch", t.id,
+			"worker", l.w.name, "size", t.hi-t.lo))
+	}
 }
 
 // handleNack records a worker-rejected lease.
@@ -512,6 +561,9 @@ func (r *runLoop) loseWorker(w *workerState, err error) {
 	w.gone = true
 	w.conn.Close()
 	r.outcome.Stats.WorkersLost++
+	if r.rec.Enabled() {
+		r.rec.Point("sched.worker.lost", obs.Attrs("worker", w.name, "err", err))
+	}
 	if l := w.busy; l != nil {
 		w.busy = nil
 		if r.inflight[l.id] == l {
@@ -545,6 +597,10 @@ func (r *runLoop) failAttempt(l *leaseState, msg string) {
 		ElapsedMS: now.Sub(l.start).Milliseconds(),
 	})
 	t.excluded[l.w.name] = true
+	if r.rec.Enabled() {
+		l.span.End(obs.Attrs("outcome", "fail", "lease", l.id, "batch", t.id,
+			"worker", l.w.name, "err", msg))
+	}
 	if len(t.attempts) >= r.cfg.RetryBudget {
 		r.deadLetter(t, ReasonBudget, ErrDeadLettered)
 		return
@@ -552,6 +608,10 @@ func (r *runLoop) failAttempt(l *leaseState, msg string) {
 	t.state = taskPending
 	t.notBefore = now.Add(r.cfg.backoffDelay(t.id, len(t.attempts)))
 	r.outcome.Stats.Requeues++
+	if r.rec.Enabled() {
+		r.rec.Point("sched.requeue", obs.Attrs("batch", t.id,
+			"attempts", len(t.attempts), "delay_ms", t.notBefore.Sub(now).Milliseconds()))
+	}
 }
 
 // deadLetter parks the batch: fixed-string error results (the report
@@ -581,6 +641,10 @@ func (r *runLoop) deadLetter(t *taskState, reason, resultErr string) {
 		Reason:    reason,
 		Attempts:  t.attempts,
 	})
+	if r.rec.Enabled() {
+		r.rec.Point("sched.dlq", obs.Attrs("batch", t.id,
+			"instances", t.hi-t.lo, "attempts", len(t.attempts), "reason", reason))
+	}
 }
 
 // drain parks every unfinished batch (graceful shutdown or total worker
@@ -600,6 +664,10 @@ func (r *runLoop) drain(reason, resultErr string) {
 				Start:     l.start,
 				ElapsedMS: now.Sub(l.start).Milliseconds(),
 			})
+			if r.rec.Enabled() {
+				l.span.End(obs.Attrs("outcome", "drained", "lease", l.id,
+					"batch", t.id, "worker", l.w.name))
+			}
 			r.deadLetter(t, reason, resultErr)
 		case taskPending:
 			r.deadLetter(t, reason, resultErr)

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Config tunes the coordinator. The zero value is usable: every field
@@ -61,6 +62,12 @@ type Config struct {
 	// of the sweep (default 30s) — the no-hang guarantee even when the
 	// whole fleet dies.
 	NoWorkerGrace time.Duration
+	// Observer receives coordinator lifecycle telemetry when set: worker
+	// joins and losses, lease spans (issue to result/failure), expiries,
+	// requeues, dead-letters, and per-worker heartbeat gaps. Telemetry is
+	// a pure reader — it never influences scheduling, the report, or the
+	// Outcome. nil (the default) records nothing.
+	Observer *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {

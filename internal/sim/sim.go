@@ -83,14 +83,22 @@ type Engine struct {
 	views  []model.View
 	count  *metrics.Counters
 	tracer Tracer
+	// rounds is tracer when it also implements RoundTracer, resolved
+	// once at option time so Run pays no per-round type assertions.
+	rounds RoundTracer
 }
 
 // Option configures an Engine.
 type Option func(*Engine)
 
-// WithTracer attaches a trace sink that observes every delivered message.
+// WithTracer attaches a trace sink that observes every delivered
+// message — and, when t also implements RoundTracer, every round
+// boundary.
 func WithTracer(t Tracer) Option {
-	return func(e *Engine) { e.tracer = t }
+	return func(e *Engine) {
+		e.tracer = t
+		e.rounds, _ = t.(RoundTracer)
+	}
 }
 
 // WithCounters uses an external counter set, letting callers accumulate
@@ -151,10 +159,14 @@ func (e *Engine) Run(maxRounds int) *Result {
 	rounds := 0
 	for round := 1; round <= maxRounds; round++ {
 		rounds = round
+		if e.rounds != nil {
+			e.rounds.RoundStart(round)
+		}
 		for i := range next {
 			next[i] = next[i][:0]
 		}
 		sentAny := false
+		sent := 0
 		for i, p := range e.procs {
 			id := model.NodeID(i)
 			inbox := inFlight[i]
@@ -177,8 +189,12 @@ func (e *Engine) Run(maxRounds int) *Result {
 				m.Round = round
 				e.count.Record(m)
 				sentAny = true
+				sent++
 				next[m.To] = append(next[m.To], m)
 			}
+		}
+		if e.rounds != nil {
+			e.rounds.RoundEnd(round, sent)
 		}
 		inFlight, next = next, inFlight
 		if !sentAny && e.allFinished() {

@@ -13,7 +13,7 @@ import (
 // goroutine, for maxRounds lockstep rounds, and returns the views indexed
 // by node ID. It is the multi-node counterpart of sim.Engine.Run for real
 // transports; cmd/fdnet and the integration tests use it.
-func RunCluster(endpoints []Transport, procs []sim.Process, maxRounds int, counters *metrics.Counters) ([]model.View, error) {
+func RunCluster(endpoints []Transport, procs []sim.Process, maxRounds int, counters *metrics.Counters, opts ...RunnerOption) ([]model.View, error) {
 	if len(endpoints) != len(procs) {
 		return nil, fmt.Errorf("transport: %d endpoints for %d processes", len(endpoints), len(procs))
 	}
@@ -24,7 +24,7 @@ func RunCluster(endpoints []Transport, procs []sim.Process, maxRounds int, count
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r := NewRunner(endpoints[i], procs[i], counters)
+			r := NewRunner(endpoints[i], procs[i], counters, opts...)
 			v, err := r.Run(maxRounds)
 			views[i] = v
 			errs[i] = err

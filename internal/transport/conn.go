@@ -144,6 +144,7 @@ type connConfig struct {
 	readTimeout  time.Duration
 	writeTimeout time.Duration
 	dialWindow   time.Duration
+	stats        *ConnStats
 }
 
 func (c connConfig) withDefaults() connConfig {
@@ -185,7 +186,10 @@ func DialConn(addr string, opts ...ConnOption) (Conn, error) {
 		opt(&cfg)
 	}
 	cfg = cfg.withDefaults()
-	raw, err := dialBackoff(addr, cfg.dialWindow)
+	raw, retries, err := dialBackoff(addr, cfg.dialWindow)
+	if cfg.stats != nil {
+		cfg.stats.Redials.Add(int64(retries))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
@@ -215,7 +219,14 @@ func (c *tcpConn) Send(frame []byte) error {
 			return err
 		}
 	}
-	return writeFrame(c.raw, frame)
+	if err := writeFrame(c.raw, frame); err != nil {
+		return err
+	}
+	if s := c.cfg.stats; s != nil {
+		s.FramesSent.Add(1)
+		s.BytesSent.Add(int64(len(frame)))
+	}
+	return nil
 }
 
 func (c *tcpConn) Recv() ([]byte, error) {
@@ -230,6 +241,10 @@ func (c *tcpConn) Recv() ([]byte, error) {
 			return nil, ErrClosed
 		}
 		return nil, err
+	}
+	if s := c.cfg.stats; s != nil {
+		s.FramesRecv.Add(1)
+		s.BytesRecv.Add(int64(len(frame)))
 	}
 	return frame, nil
 }
@@ -271,8 +286,9 @@ func (l *TCPConnListener) Addr() string { return l.ln.Addr().String() }
 func (l *TCPConnListener) Close() error { return l.ln.Close() }
 
 // dialBackoff dials addr with capped exponential backoff: 10 ms doubling
-// to 640 ms between attempts, for up to window.
-func dialBackoff(addr string, window time.Duration) (net.Conn, error) {
+// to 640 ms between attempts, for up to window. retries counts the
+// failed attempts (0 when the first dial connects).
+func dialBackoff(addr string, window time.Duration) (conn net.Conn, retries int, err error) {
 	const (
 		backoffStart = 10 * time.Millisecond
 		backoffCap   = 640 * time.Millisecond
@@ -280,12 +296,13 @@ func dialBackoff(addr string, window time.Duration) (net.Conn, error) {
 	deadline := time.Now().Add(window)
 	delay := backoffStart
 	for {
-		conn, err := net.Dial("tcp", addr)
+		conn, err = net.Dial("tcp", addr)
 		if err == nil {
-			return conn, nil
+			return conn, retries, nil
 		}
+		retries++
 		if time.Now().After(deadline) {
-			return nil, err
+			return nil, retries, err
 		}
 		time.Sleep(delay)
 		if delay < backoffCap {

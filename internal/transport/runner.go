@@ -16,11 +16,28 @@ type Runner struct {
 	tr       Transport
 	proc     sim.Process
 	counters *metrics.Counters
+	tracer   sim.Tracer
+}
+
+// RunnerOption configures a Runner.
+type RunnerOption func(*Runner)
+
+// WithRunnerTracer attaches a message tracer observing every message
+// the runner delivers to its process — the same seam, with the same
+// delivery order, as sim.WithTracer, so a socket run's trace is
+// comparable line for line with a simulator run's. The tracer must be
+// safe for concurrent use when runners share it (RunCluster does).
+func WithRunnerTracer(t sim.Tracer) RunnerOption {
+	return func(r *Runner) { r.tracer = t }
 }
 
 // NewRunner wraps a process for execution over tr. counters may be nil.
-func NewRunner(tr Transport, proc sim.Process, counters *metrics.Counters) *Runner {
-	return &Runner{tr: tr, proc: proc, counters: counters}
+func NewRunner(tr Transport, proc sim.Process, counters *metrics.Counters, opts ...RunnerOption) *Runner {
+	r := &Runner{tr: tr, proc: proc, counters: counters}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
 }
 
 // Run executes maxRounds lockstep rounds and returns the node's view.
@@ -49,6 +66,11 @@ func (r *Runner) Run(maxRounds int) (model.View, error) {
 		delete(pendingMsgs, round)
 		sim.SortMessages(inbox)
 		view.Append(inbox)
+		if r.tracer != nil {
+			for _, m := range inbox {
+				r.tracer.Delivered(m)
+			}
+		}
 
 		out := r.proc.Step(round, inbox)
 		for _, m := range out {

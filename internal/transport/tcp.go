@@ -42,6 +42,7 @@ type TCPMesh struct {
 type meshConfig struct {
 	ioTimeout  time.Duration
 	dialWindow time.Duration
+	stats      *ConnStats
 }
 
 func (c meshConfig) withDefaults() meshConfig {
@@ -68,6 +69,13 @@ func WithMeshIOTimeout(d time.Duration) MeshOption {
 // (default 10 s).
 func WithMeshDialWindow(d time.Duration) MeshOption {
 	return func(c *meshConfig) { c.dialWindow = d }
+}
+
+// WithMeshStats counts the mesh's wire traffic (frames, bytes, dial
+// retries) into s. Observation only — framing and failure behavior are
+// unchanged.
+func WithMeshStats(s *ConnStats) MeshOption {
+	return func(c *meshConfig) { c.stats = s }
 }
 
 // maxFrameSize bounds one frame (16 MiB), matching the codec's field cap.
@@ -131,7 +139,10 @@ func NewTCPMesh(self model.NodeID, addrs map[model.NodeID]string, opts ...MeshOp
 	// when a whole cluster boots concurrently, a peer's listener may come
 	// up a moment after our first attempt.
 	for p := model.NodeID(0); p < self; p++ {
-		conn, err := dialBackoff(addrs[p], m.cfg.dialWindow)
+		conn, retries, err := dialBackoff(addrs[p], m.cfg.dialWindow)
+		if m.cfg.stats != nil {
+			m.cfg.stats.Redials.Add(int64(retries))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("transport: dial %v at %s: %w", p, addrs[p], err)
 		}
@@ -191,7 +202,14 @@ func (m *TCPMesh) Send(to model.NodeID, frame []byte) error {
 			return err
 		}
 	}
-	return writeFrame(conn, frame)
+	if err := writeFrame(conn, frame); err != nil {
+		return err
+	}
+	if s := m.cfg.stats; s != nil {
+		s.FramesSent.Add(1)
+		s.BytesSent.Add(int64(len(frame)))
+	}
+	return nil
 }
 
 // Recv implements Transport.
@@ -270,6 +288,10 @@ func (m *TCPMesh) readLoop(peer model.NodeID, conn net.Conn) {
 				m.fail(peer, err)
 			}
 			return // without a deadline: closed or corrupted; barrier times out
+		}
+		if s := m.cfg.stats; s != nil {
+			s.FramesRecv.Add(1)
+			s.BytesRecv.Add(int64(len(frame)))
 		}
 		select {
 		case m.inbox <- envelope{from: peer, frame: frame}:
