@@ -48,6 +48,22 @@
 //	fdcampaign -adversaries none,crash-relay            # legacy list
 //	fdcampaign -adversaries "none;coalition:size=2,behavior=equivocate,partition=even-odd;relay:behavior=delay,delay=2"
 //
+// Network conditions sweep as one more grid axis (-netcond, or the
+// spec's netconds/netcond_specs fields): declarative latency, loss,
+// reorder, bandwidth, scripted partitions, and honest-node
+// crash/restart churn, compiled into the deterministic engines — same
+// (seed, condition) always means the same report bytes. Conditions use
+// commas internally, so several separate on ";":
+//
+//	fdcampaign -netcond "latency=uniform-0-2,loss=0.05"
+//	fdcampaign -netcond "partition=even-odd@1-3;churn=2@2-4" -strict
+//
+// Degraded links void the paper's synchrony assumption N1, so predicate
+// failures under them are recorded but excused (Verdict.NetExcused);
+// churn-only conditions leave N1 intact and are scored in full. A
+// per-instance watchdog (-inst-timeout) turns a livelocked instance
+// into a fixed-string error instead of a hung sweep.
+//
 // Every completed instance is scored against the paper's conformance
 // predicates (termination/agreement/validity, see campaign.Verdict); the
 // table's "conform" column reports the per-group pass fraction and
@@ -101,6 +117,8 @@ func main() {
 		tols        = flag.String("tols", "", "comma-separated fault bounds t (empty = classical (n-1)/3 per size)")
 		schemes     = flag.String("schemes", sig.SchemeEd25519, "comma-separated signature schemes")
 		adversaries = flag.String("adversaries", "none,crash-relay", "adversary mixes: legacy names (none,crash-sender,crash-relay,equivocate) or strategy specs (coalition:size=2,behavior=equivocate); ';'-separated when specs are present")
+		netconds    = flag.String("netcond", "", "network conditions (compact syntax, e.g. \"latency=uniform-0-2,loss=0.05\" or \"partition=even-odd@1-3\"); ';'-separated for several; empty = ideal network")
+		instTimeout = flag.Duration("inst-timeout", 0, "per-instance watchdog: abandon an instance still running after this long and record it as an error (0 = off)")
 		seedBase    = flag.Int64("seed-base", 19950530, "base seed of the deterministic seed range")
 		seeds       = flag.Int("seeds", 10, "seeded repetitions per configuration")
 		workers     = flag.Int("workers", 0, "worker shards (0 = one per CPU)")
@@ -126,6 +144,9 @@ func main() {
 	var runOpts []campaign.Option
 	if !*setupCache {
 		runOpts = append(runOpts, campaign.WithoutSetupCache())
+	}
+	if *instTimeout > 0 {
+		runOpts = append(runOpts, campaign.WithInstanceTimeout(*instTimeout))
 	}
 
 	// The trace is a pure reader: enabling it cannot change a report
@@ -166,6 +187,7 @@ func main() {
 			Tols:        splitInts(*tols),
 			Schemes:     splitList(*schemes),
 			Adversaries: campaign.SplitAdversaryList(*adversaries),
+			NetConds:    campaign.SplitNetCondList(*netconds),
 			SeedBase:    *seedBase,
 			SeedCount:   *seeds,
 		}

@@ -10,6 +10,9 @@
 //	fdnet -n 8 -t 2 -value "deploy v2.1"
 //	fdnet -n 5 -t 1 -trace -                # per-delivery trace to stderr
 //	fdnet -n 5 -t 1 -trace run.trace        # ... or to a file
+//	fdnet -n 5 -t 1 -netcond "latency=fixed-1,loss=0.1"  # degraded FD phase
+//	fdnet -n 5 -t 1 -netcond "churn=2@2-4"  # P2 crashes and rejoins with
+//	                                        # its phase-1 keys recovered
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"repro/internal/keydist"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/netcond"
 	"repro/internal/sig"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -35,10 +39,12 @@ import (
 
 func main() {
 	var (
-		n     = flag.Int("n", 5, "number of nodes")
-		t     = flag.Int("t", 1, "fault bound")
-		value = flag.String("value", "hello over tcp", "sender's initial value")
-		trace = flag.String("trace", "", "write a per-delivery message trace to this path ('-' = stderr)")
+		n        = flag.Int("n", 5, "number of nodes")
+		t        = flag.Int("t", 1, "fault bound")
+		value    = flag.String("value", "hello over tcp", "sender's initial value")
+		trace    = flag.String("trace", "", "write a per-delivery message trace to this path ('-' = stderr)")
+		netcondF = flag.String("netcond", "", "network condition for the FD phase (compact syntax, e.g. \"latency=fixed-1,loss=0.1\"; key distribution always runs ideal)")
+		seed     = flag.Int64("seed", 1, "deterministic seed for the network-condition model")
 	)
 	flag.Parse()
 	// SIGINT/SIGTERM close every mesh endpoint, which unblocks the node
@@ -46,7 +52,7 @@ func main() {
 	// of leaving sockets half-open.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *n, *t, *value, *trace); err != nil {
+	if err := run(ctx, *n, *t, *value, *trace, *netcondF, *seed); err != nil {
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "fdnet: interrupted, shut down cleanly")
 			os.Exit(0)
@@ -56,9 +62,13 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, n, tol int, value, trace string) error {
+func run(ctx context.Context, n, tol int, value, trace, netcondStr string, seed int64) error {
 	cfg := model.Config{N: n, T: tol}
 	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	nc, err := netcond.Parse(netcondStr)
+	if err != nil {
 		return err
 	}
 	scheme, err := sig.ByName(sig.SchemeEd25519)
@@ -168,7 +178,19 @@ func run(ctx context.Context, n, tol int, value, trace string) error {
 	fmt.Printf("all %d nodes accepted all predicates (3n(n-1) = %d messages)\n",
 		n, keydist.ExpectedMessages(n))
 
-	// Phase 2: chain failure discovery over the same sockets.
+	// Phase 2: chain failure discovery over the same sockets. Only this
+	// phase is degraded: the paper establishes authentication once on a
+	// healthy network, failures (including network ones) come later.
+	fdOpts := append([]transport.RunnerOption{}, runOpts...)
+	if nc.DegradesLinks() {
+		// One private model per node runner: each draws only from its own
+		// directed self→* link streams, so the concurrent runners replay
+		// exactly the fates the lockstep engine would.
+		fdOpts = append(fdOpts, transport.WithRunnerNetwork(func(model.NodeID) sim.Network {
+			return netcond.NewModel(nc, n, seed)
+		}))
+		fmt.Printf("\nnetwork condition: %s (seed %d)\n", nc.CanonicalName(), seed)
+	}
 	fdNodes := make([]*fd.ChainNode, n)
 	fdProcs := make([]sim.Process, n)
 	for i := 0; i < n; i++ {
@@ -183,8 +205,30 @@ func run(ctx context.Context, n, tol int, value, trace string) error {
 		fdNodes[i] = node
 		fdProcs[i] = node
 	}
+	// Churn: the scripted node crashes mid-run and restarts with its key
+	// state recovered from phase 1 — restart-with-recovery over real TCP.
+	for _, ch := range nc.Churn {
+		id := model.NodeID(ch.Node)
+		if !id.Valid(n) {
+			continue
+		}
+		i := int(id)
+		rebuild := func() (sim.Process, error) {
+			var opts []fd.ChainOption
+			if id == fd.Sender {
+				opts = append(opts, fd.WithValue([]byte(value)))
+			}
+			return fd.NewChainNode(cfg, id, kdNodes[i].Signer(), kdNodes[i].Directory(), opts...)
+		}
+		fdProcs[i] = netcond.NewChurner(fdProcs[i], ch, rebuild, nil)
+		fmt.Printf("churn: P%d crashes round %d", ch.Node, ch.Crash)
+		if ch.Restart > 0 {
+			fmt.Printf(", restarts round %d with recovered keys", ch.Restart)
+		}
+		fmt.Println()
+	}
 	fdCounters := metrics.NewCounters()
-	if _, err := transport.RunCluster(endpoints, fdProcs, fd.ChainEngineRounds(tol), fdCounters, runOpts...); err != nil {
+	if _, err := transport.RunCluster(endpoints, fdProcs, fd.ChainEngineRounds(tol), fdCounters, fdOpts...); err != nil {
 		return err
 	}
 	fmt.Printf("\nfailure discovery over TCP: %s\n", fdCounters.Snapshot())

@@ -11,6 +11,9 @@
 //	fdsim -n 8 -t 2 -fault silent-relay     # inject a fault
 //	fdsim -n 8 -t 2 -trace -                # log every delivery to stderr
 //	fdsim -n 8 -t 2 -trace run.trace        # ... or to a file
+//	fdsim -n 8 -t 2 -netcond "latency=fixed-1,loss=0.05"    # degraded network
+//	fdsim -n 8 -t 2 -netcond "partition=even-odd@1-3"       # healing partition
+//	fdsim -n 8 -t 2 -netcond "churn=2@2-4"  # P2 crashes round 2, rejoins round 4
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/netcond"
 	"repro/internal/sim"
 )
 
@@ -35,9 +39,10 @@ func main() {
 		value    = flag.String("value", "example-value", "sender's initial value")
 		fault    = flag.String("fault", "", "inject: silent-relay | silent-sender | tamper-relay | equivocating-sender")
 		trace    = flag.String("trace", "", "write a per-delivery message trace to this path ('-' = stderr)")
+		netcondF = flag.String("netcond", "", "network condition (compact syntax, e.g. \"latency=fixed-1,loss=0.05\" or \"partition=even-odd@1-3,churn=2@2-4\"; empty = ideal)")
 	)
 	flag.Parse()
-	if err := run(*n, *t, *runs, *protocol, *scheme, *seed, *value, *fault, *trace); err != nil {
+	if err := run(*n, *t, *runs, *protocol, *scheme, *seed, *value, *fault, *trace, *netcondF); err != nil {
 		fmt.Fprintf(os.Stderr, "fdsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -57,7 +62,11 @@ func openTracer(path string) (*sim.WriterTracer, error) {
 	return sim.NewWriterTracer(f), nil
 }
 
-func run(n, t, runs int, protocol, scheme string, seed int64, value, fault, trace string) error {
+func run(n, t, runs int, protocol, scheme string, seed int64, value, fault, trace, netcondStr string) error {
+	nc, err := netcond.Parse(netcondStr)
+	if err != nil {
+		return err
+	}
 	coreOpts := []core.Option{core.WithScheme(scheme), core.WithSeed(seed)}
 	if trace != "" {
 		tracer, err := openTracer(trace)
@@ -98,6 +107,16 @@ func run(n, t, runs int, protocol, scheme string, seed int64, value, fault, trac
 
 	for i := 0; i < runs; i++ {
 		opts := []core.RunOption{core.WithProtocol(proto)}
+		if !nc.IsIdeal() {
+			// Fresh model per run: each run replays the same scripted
+			// degradation from round 1.
+			if nc.DegradesLinks() {
+				opts = append(opts, core.WithNetwork(netcond.NewModel(nc, n, seed)))
+			}
+			for _, ch := range nc.Churn {
+				opts = append(opts, core.WithChurn(ch))
+			}
+		}
 		if fault != "" {
 			faultOpts, err := buildFault(cluster, fault, value)
 			if err != nil {

@@ -50,6 +50,14 @@ type Verdict struct {
 	// n ≤ 3t): their agreement and validity failures are expected, not
 	// violations.
 	MayDisagree bool `json:"may_disagree,omitempty"`
+	// NetExcused marks instances whose network condition degrades links
+	// (latency, loss, reordering, bandwidth, partitions): every paper
+	// guarantee — termination included — is premised on the synchronous
+	// network assumption N1, so predicate failures under link degradation
+	// are recorded but never counted as violations. Churn-only conditions
+	// leave N1 intact (a crashed-and-restarted node is just a faulty node)
+	// and are scored in full.
+	NetExcused bool `json:"net_excused,omitempty"`
 	// Violations lists the predicates that failed and were not excused,
 	// in the fixed termination/agreement/validity order.
 	Violations []string `json:"violations,omitempty"`
@@ -59,13 +67,19 @@ type Verdict struct {
 func (v *Verdict) Conformant() bool { return v != nil && len(v.Violations) == 0 }
 
 // newVerdict assembles a Verdict, recording a violation for every failed
-// predicate the driver's theory does not excuse.
-func newVerdict(termination, agreement, validity, mayDisagree bool) *Verdict {
+// predicate the driver's theory does not excuse. netExcused suppresses
+// all violations (the raw predicate results stay visible): no paper
+// guarantee survives a broken N1.
+func newVerdict(termination, agreement, validity, mayDisagree, netExcused bool) *Verdict {
 	v := &Verdict{
 		Termination: termination,
 		Agreement:   agreement,
 		Validity:    validity,
 		MayDisagree: mayDisagree,
+		NetExcused:  netExcused,
+	}
+	if netExcused {
+		return v
 	}
 	if !termination {
 		v.Violations = append(v.Violations, PredTermination)
@@ -92,12 +106,21 @@ func mayDisagree(verdicts protocol.VerdictMapper, n, t int, honest bool) bool {
 // predicates must hold in all of them (vector's rotated sub-instances).
 func scoreOutcome(drv protocol.Driver, pinst protocol.Instance, out protocol.Outcome) *Verdict {
 	verdicts := drv.Verdicts()
-	may := mayDisagree(verdicts, pinst.N, pinst.T, pinst.Strategy.IsHonest())
+	// An instance is "honest" for excusal purposes only when neither the
+	// strategy nor the network injects faults: churn makes nodes faulty,
+	// so a churned run may legitimately hit the driver's MayDisagree
+	// regime even under an honest strategy.
+	honest := pinst.Strategy.IsHonest() && (pinst.Net == nil || pinst.Net.IsIdeal())
+	may := mayDisagree(verdicts, pinst.N, pinst.T, honest)
+	netExcused := pinst.Net != nil && pinst.Net.DegradesLinks()
 	if len(out.SubRuns) == 0 {
 		// No conformance material is itself a violation: a driver that
 		// reports nothing to score must not silently pass the -strict
-		// gate.
-		return newVerdict(false, false, false, may)
+		// gate. Even a degraded network does not excuse it — the excusal
+		// covers predicate failures, not missing material.
+		v := newVerdict(false, false, false, may, false)
+		v.NetExcused = netExcused
+		return v
 	}
 	faulty := pinst.Faulty()
 	termination, agreement, validity := true, true, true
@@ -107,7 +130,7 @@ func scoreOutcome(drv protocol.Driver, pinst protocol.Instance, out protocol.Out
 		agreement = agreement && a
 		validity = validity && v
 	}
-	return newVerdict(termination, agreement, validity, may)
+	return newVerdict(termination, agreement, validity, may, netExcused)
 }
 
 // evaluateSubRun runs the core property checkers over one sub-run's
@@ -158,12 +181,12 @@ func evaluateOutcomes(inst Instance, outcomes []model.Outcome, faulty model.Node
 		t := core.CheckF1(outcomes, faulty) == nil && rounds <= roundBound
 		a := core.CheckF2(outcomes, faulty) == nil
 		v := core.CheckF3(outcomes, faulty, sender, initial) == nil
-		return newVerdict(t, a, v, false)
+		return newVerdict(t, a, v, false, false)
 	}
 	verdicts := drv.Verdicts()
 	t, a, v := evaluateSubRun(protocol.SubRun{Sender: sender, Initial: initial, Outcomes: outcomes},
 		faulty, rounds, roundBound, verdicts.DiscoveryExempts())
-	return newVerdict(t, a, v, mayDisagree(verdicts, inst.N, inst.T, inst.honestAdversary()))
+	return newVerdict(t, a, v, mayDisagree(verdicts, inst.N, inst.T, inst.honestAdversary()), false)
 }
 
 // honestAdversary reports whether the instance injects no faults.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/adversary"
+	"repro/internal/netcond"
 	"repro/internal/protocol"
 )
 
@@ -33,6 +34,14 @@ type Instance struct {
 	// may leave it zero and set Adversary to an alias name or compact
 	// strategy syntax instead; runInstance resolves either form.
 	Strategy adversary.Strategy `json:"strategy"`
+	// NetCond names the network condition; empty means the ideal network
+	// (so pre-netcond instances and group keys are unchanged). Expansion
+	// sets it to the resolved spec's name.
+	NetCond string `json:"netcond,omitempty"`
+	// Net is the resolved network condition (nil for ideal). Hand-built
+	// instances may leave it nil and set NetCond to the compact syntax
+	// instead; runInstance resolves either form.
+	Net *netcond.Spec `json:"net,omitempty"`
 	// Seed drives every per-run random choice inside the instance
 	// (handshake nonces).
 	Seed int64 `json:"seed"`
@@ -54,7 +63,13 @@ func (i Instance) GroupKey() string {
 	if scheme == "" {
 		scheme = "-"
 	}
-	return fmt.Sprintf("%s/n=%d/t=%d/%s/%s", i.Protocol, i.N, i.T, scheme, i.Adversary)
+	key := fmt.Sprintf("%s/n=%d/t=%d/%s/%s", i.Protocol, i.N, i.T, scheme, i.Adversary)
+	if i.NetCond != "" {
+		// The netcond segment joins the key only when a condition is set,
+		// so ideal-network group keys are byte-identical to the pre-axis era.
+		key += "/" + i.NetCond
+	}
+	return key
 }
 
 // capabilities resolves a protocol name's declared capabilities through
@@ -102,7 +117,7 @@ func (s Spec) cases() []Case {
 
 // Expand resolves the spec into its deterministic instance list. The
 // order is the nested iteration protocol → case → scheme → adversary →
-// seed; unsupported combinations are skipped. Seeds are SeedBase,
+// netcond → seed; unsupported combinations are skipped. Seeds are SeedBase,
 // SeedBase+1, … per configuration, so two configurations share seed
 // values but never RNG streams (every instance mixes its seed with its
 // node IDs through sim.NodeSeed).
@@ -112,6 +127,10 @@ func Expand(spec Spec) ([]Instance, error) {
 	}
 	spec = spec.withDefaults()
 	strategies, err := spec.resolveAdversaries()
+	if err != nil {
+		return nil, err
+	}
+	netconds, err := spec.resolveNetConds()
 	if err != nil {
 		return nil, err
 	}
@@ -132,18 +151,25 @@ func Expand(spec Spec) ([]Instance, error) {
 					if !caps.Supports(c.N, c.T, strat) {
 						continue
 					}
-					for s := 0; s < spec.SeedCount; s++ {
-						out = append(out, Instance{
-							Index:     len(out),
-							Protocol:  name,
-							N:         c.N,
-							T:         c.T,
-							Scheme:    scheme,
-							Adversary: strat.Name,
-							Strategy:  strat,
-							Seed:      spec.SeedBase + int64(s),
-							KeySeed:   spec.SeedBase,
-						})
+					for _, nc := range netconds {
+						if !caps.SupportsNet(c.N, c.T, strat, nc.spec) {
+							continue
+						}
+						for s := 0; s < spec.SeedCount; s++ {
+							out = append(out, Instance{
+								Index:     len(out),
+								Protocol:  name,
+								N:         c.N,
+								T:         c.T,
+								Scheme:    scheme,
+								Adversary: strat.Name,
+								Strategy:  strat,
+								NetCond:   nc.name,
+								Net:       nc.spec,
+								Seed:      spec.SeedBase + int64(s),
+								KeySeed:   spec.SeedBase,
+							})
+						}
 					}
 				}
 			}

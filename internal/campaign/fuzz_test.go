@@ -40,6 +40,58 @@ func FuzzParseAdversary(f *testing.F) {
 	})
 }
 
+// FuzzParseNetCond covers the network-condition axis entry point used
+// by -netcond: malformed compact syntax (truncated fields, overlong
+// names, NaN probabilities) must error, never panic, and any accepted
+// condition must survive spec validation and expansion.
+func FuzzParseNetCond(f *testing.F) {
+	for _, seed := range []string{
+		"", "ideal", NetCondIdeal,
+		"latency=fixed-1", "latency=uniform-0-2", "latency=lognormal-0.5-0.3-6",
+		"loss=0.05,reorder=0.1,bandwidth=4",
+		"partition=even-odd@1-3", "partition=halves@2",
+		"churn=2@2-4,churn=0@1",
+		"name=lab,loss=0.2",
+		"latency=fixed-",        // truncated
+		"latency=uniform-0-",    // truncated
+		"partition=even-odd@",   // truncated
+		"churn=2@",              // truncated
+		"loss=NaN", "loss=+Inf", // non-finite probabilities
+		"loss=1e309",                        // overflow
+		"bandwidth=99999999999999999",       // overlong number
+		"name=" + string(make([]byte, 200)), // overlong name
+		"latency=fixed-1,latency=fixed-2",   // duplicate key
+		"gremlin=1", "=", ",,,,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := ParseNetCond(input)
+		if err != nil {
+			return
+		}
+		if spec.CanonicalName() == "" {
+			t.Fatalf("ParseNetCond(%q) accepted with empty canonical name", input)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseNetCond accepted %q but Validate rejects it: %v", input, err)
+		}
+		// Accepted conditions must be usable as a campaign axis entry.
+		cs := Spec{
+			Protocols: []string{ProtoChain},
+			Cases:     []Case{{N: 4, T: 1}},
+			NetConds:  []string{input},
+			SeedCount: 1,
+		}
+		if err := cs.Validate(); err != nil {
+			t.Fatalf("ParseNetCond accepted %q but Spec.Validate rejects it: %v", input, err)
+		}
+		// Expansion must not panic; a zero-instance result (every case
+		// skipped, e.g. churn wider than the fault budget) is a clean error.
+		_, _ = Expand(cs)
+	})
+}
+
 // FuzzAdversarySpecJSON covers the structured AdversarySpecs path: any
 // JSON that unmarshals into a strategy must either fail validation with
 // an error or expand without panicking.

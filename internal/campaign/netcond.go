@@ -1,0 +1,123 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netcond"
+)
+
+// Network-condition resolution: a Spec names its conditions either as
+// compact-syntax strings in NetConds ("latency=uniform-0-2,loss=0.05",
+// see netcond.Parse) or as structured netcond.Spec values in
+// NetCondSpecs. Both resolve into the same ordered list, each entry
+// carrying a unique deterministic name that joins the instance group
+// key. The ideal network resolves to an empty name and a nil spec, so
+// a campaign without conditions expands — and marshals — exactly as it
+// did before the axis existed.
+
+// NetCondIdeal is the reserved name of the ideal (no-op) condition.
+const NetCondIdeal = "ideal"
+
+// resolvedNetCond is one entry of the netcond axis. The ideal network
+// is {name: "", spec: nil}: group keys and instance JSON stay untouched
+// for it, which is what keeps NetConds-free campaigns byte-identical to
+// pre-axis reports.
+type resolvedNetCond struct {
+	name string
+	spec *netcond.Spec
+}
+
+// ParseNetCond resolves one NetConds entry via the compact syntax.
+func ParseNetCond(s string) (netcond.Spec, error) {
+	spec, err := netcond.Parse(s)
+	if err != nil {
+		return netcond.Spec{}, fmt.Errorf("campaign: %w", err)
+	}
+	return spec, nil
+}
+
+// SplitNetCondList splits a flag value into condition entries. The
+// condition syntax uses commas internally, so multiple entries separate
+// on ";" when one is present; otherwise a value containing "=" is a
+// single condition and anything else splits on "," (a bare name list,
+// e.g. "ideal").
+func SplitNetCondList(s string) []string {
+	sep := ","
+	if strings.Contains(s, ";") {
+		sep = ";"
+	} else if strings.Contains(s, "=") {
+		return []string{strings.TrimSpace(s)}
+	}
+	var out []string
+	for _, part := range strings.Split(s, sep) {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// resolveNetConds returns the spec's network-condition axis in
+// deterministic order — NetConds entries first, then NetCondSpecs —
+// with every spec validated and named (explicit Name or
+// CanonicalName). Names must be unique: they key the aggregation
+// groups. An empty axis resolves to the single ideal entry.
+func (s Spec) resolveNetConds() ([]resolvedNetCond, error) {
+	if len(s.NetConds) == 0 && len(s.NetCondSpecs) == 0 {
+		return []resolvedNetCond{{}}, nil
+	}
+	var specs []netcond.Spec
+	for _, entry := range s.NetConds {
+		spec, err := ParseNetCond(entry)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	for _, spec := range s.NetCondSpecs {
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		specs = append(specs, spec)
+	}
+	out := make([]resolvedNetCond, 0, len(specs))
+	seen := make(map[string]bool, len(specs))
+	for i := range specs {
+		name := specs[i].CanonicalName()
+		if seen[name] {
+			return nil, fmt.Errorf("campaign: duplicate netcond name %q", name)
+		}
+		seen[name] = true
+		if specs[i].IsIdeal() {
+			out = append(out, resolvedNetCond{})
+			continue
+		}
+		if specs[i].Name == "" {
+			specs[i].Name = name
+		}
+		out = append(out, resolvedNetCond{name: name, spec: &specs[i]})
+	}
+	return out, nil
+}
+
+// netcondSpec resolves the instance's network condition: the structured
+// Net when present (expansion always sets it for degraded instances),
+// otherwise the NetCond string, so hand-built instances keep working.
+// The ideal network — however it was spelled — resolves to nil.
+func (inst Instance) netcondSpec() (*netcond.Spec, error) {
+	if inst.Net != nil {
+		return inst.Net, nil
+	}
+	if inst.NetCond == "" || inst.NetCond == NetCondIdeal {
+		return nil, nil
+	}
+	spec, err := ParseNetCond(inst.NetCond)
+	if err != nil {
+		return nil, err
+	}
+	if spec.IsIdeal() {
+		return nil, nil
+	}
+	return &spec, nil
+}

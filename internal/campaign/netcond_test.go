@@ -1,0 +1,246 @@
+package campaign
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sig"
+)
+
+func TestSplitNetCondList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"ideal", []string{"ideal"}},
+		{"ideal, ideal2", []string{"ideal", "ideal2"}},
+		// A single condition's internal commas survive.
+		{"latency=fixed-1,loss=0.05", []string{"latency=fixed-1,loss=0.05"}},
+		// ";" separates multiple conditions.
+		{"latency=fixed-1,loss=0.05; churn=2@2-4", []string{"latency=fixed-1,loss=0.05", "churn=2@2-4"}},
+		{"ideal;partition=even-odd@1-3;", []string{"ideal", "partition=even-odd@1-3"}},
+	}
+	for _, c := range cases {
+		if got := SplitNetCondList(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitNetCondList(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestNetCondAxisExpansion checks the axis joins the grid: named entries
+// suffix the group key, the ideal condition (however spelled) leaves
+// keys and instances exactly as a netcond-free spec would.
+func TestNetCondAxisExpansion(t *testing.T) {
+	base := Spec{
+		Protocols:   []string{ProtoChain},
+		Cases:       []Case{{N: 4, T: 1}},
+		Schemes:     []string{sig.SchemeToy},
+		Adversaries: []string{AdvNone},
+		SeedCount:   2,
+	}
+	plain, err := Expand(base)
+	if err != nil {
+		t.Fatalf("Expand(no axis): %v", err)
+	}
+
+	withIdeal := base
+	withIdeal.NetConds = []string{"ideal"}
+	ideal, err := Expand(withIdeal)
+	if err != nil {
+		t.Fatalf("Expand(ideal axis): %v", err)
+	}
+	if !reflect.DeepEqual(plain, ideal) {
+		t.Error("an explicit ideal axis changed the expansion; pre-axis reports would shift bytes")
+	}
+
+	withCond := base
+	withCond.NetConds = []string{"ideal", "latency=fixed-1"}
+	mixed, err := Expand(withCond)
+	if err != nil {
+		t.Fatalf("Expand(mixed axis): %v", err)
+	}
+	if len(mixed) != 2*len(plain) {
+		t.Fatalf("mixed axis expanded to %d instances, want %d", len(mixed), 2*len(plain))
+	}
+	var idealKeys, degradedKeys int
+	for _, inst := range mixed {
+		switch inst.NetCond {
+		case "":
+			if strings.Contains(inst.GroupKey(), "lat-fixed") {
+				t.Errorf("ideal instance key %q mentions a condition", inst.GroupKey())
+			}
+			if inst.Net != nil {
+				t.Error("ideal instance carries a structured net spec")
+			}
+			idealKeys++
+		case "lat-fixed-1":
+			if !strings.HasSuffix(inst.GroupKey(), "/lat-fixed-1") {
+				t.Errorf("degraded instance key %q missing netcond suffix", inst.GroupKey())
+			}
+			if inst.Net == nil || inst.Net.Latency == nil {
+				t.Errorf("degraded instance lost its structured spec: %+v", inst.Net)
+			}
+			degradedKeys++
+		default:
+			t.Errorf("unexpected instance netcond %q", inst.NetCond)
+		}
+	}
+	if idealKeys != len(plain) || degradedKeys != len(plain) {
+		t.Errorf("axis split %d ideal / %d degraded, want %d each", idealKeys, degradedKeys, len(plain))
+	}
+}
+
+// TestExpandSkipsChurnBeyondFaultBudget: churned nodes count against t,
+// so a two-node churn script cannot expand at t=1 while a single churn
+// can.
+func TestExpandSkipsChurnBeyondFaultBudget(t *testing.T) {
+	spec := Spec{
+		Protocols:   []string{ProtoChain},
+		Cases:       []Case{{N: 4, T: 1}},
+		Schemes:     []string{sig.SchemeToy},
+		Adversaries: []string{AdvNone},
+		NetConds:    []string{"churn=2@2-4"},
+		SeedCount:   1,
+	}
+	if insts, err := Expand(spec); err != nil || len(insts) == 0 {
+		t.Fatalf("single churn at t=1 must expand: %v (%d instances)", err, len(insts))
+	}
+	spec.NetConds = []string{"churn=1@2,churn=2@2"}
+	if insts, err := Expand(spec); err == nil && len(insts) != 0 {
+		t.Fatalf("two churned nodes at t=1 expanded to %d instances, want skip", len(insts))
+	}
+	// An adversary already spending the budget leaves no room for churn.
+	spec.NetConds = []string{"churn=2@2-4"}
+	spec.Adversaries = []string{AdvCrashRelay}
+	if insts, err := Expand(spec); err == nil && len(insts) != 0 {
+		t.Fatalf("churn on top of a t-sized coalition expanded to %d instances, want skip", len(insts))
+	}
+}
+
+// TestHealingPartitionRegression is the committed satellite scenario: an
+// even-odd partition from round 1 that heals at round 3. Crossing
+// messages are held and delivered after the heal — too late for the
+// chain accept rule, so chain nodes discover the missing messages
+// (discovery is the protocol working as designed), while fdba's BA
+// fallback still carries every node to agreement. Because the condition
+// degrades links (voiding the paper's N1 premise), every verdict is
+// marked NetExcused. The canonical report must be byte-identical at any
+// worker count.
+func TestHealingPartitionRegression(t *testing.T) {
+	spec := Spec{
+		Name:        "healing-partition",
+		Protocols:   []string{ProtoChain, ProtoFDBA},
+		Cases:       []Case{{N: 4, T: 1}},
+		Schemes:     []string{sig.SchemeToy},
+		Adversaries: []string{AdvNone},
+		NetConds:    []string{"partition=even-odd@1-3"},
+		SeedBase:    7,
+		SeedCount:   3,
+	}
+	rep1, err := Run(spec, 1)
+	if err != nil {
+		t.Fatalf("Run(workers=1): %v", err)
+	}
+	rep4, err := Run(spec, 4)
+	if err != nil {
+		t.Fatalf("Run(workers=4): %v", err)
+	}
+	j1, err := rep1.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON: %v", err)
+	}
+	j4, err := rep4.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON: %v", err)
+	}
+	if !bytes.Equal(j1, j4) {
+		t.Fatal("healing-partition report differs between 1 and 4 workers")
+	}
+
+	if len(rep1.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2 (chain, fdba)", len(rep1.Groups))
+	}
+	for _, g := range rep1.Groups {
+		if g.NetCond != "part-even-odd-r1-h3" {
+			t.Errorf("group %s: netcond %q, want part-even-odd-r1-h3", g.Key, g.NetCond)
+		}
+		if g.Errors != 0 {
+			t.Errorf("group %s: %d errors", g.Key, g.Errors)
+		}
+		switch g.Protocol {
+		case ProtoChain:
+			// Held-then-healed messages arrive after the chain accept
+			// deadline: every run must discover the failure.
+			if g.DiscoveryRate != 1 {
+				t.Errorf("group %s: discovery rate %v, want 1 under a healing partition", g.Key, g.DiscoveryRate)
+			}
+		case ProtoFDBA:
+			// The FD→BA fallback absorbs the disruption: agreement holds.
+			if g.AgreeRate != 1 {
+				t.Errorf("group %s: agree rate %v, want 1 via the BA fallback", g.Key, g.AgreeRate)
+			}
+		}
+		if g.Conformant != g.Instances {
+			t.Errorf("group %s: %d/%d conformant (link degradation must excuse)", g.Key, g.Conformant, g.Instances)
+		}
+	}
+	for _, res := range rep1.Results {
+		if res.Conformance == nil || !res.Conformance.NetExcused {
+			t.Errorf("instance %s: verdict not marked NetExcused under a partition", res.Group)
+		}
+	}
+}
+
+// TestChurnScoredInFull is the restart-with-recovery acceptance
+// scenario: node 2 crashes in round 2 and rejoins in round 4 with
+// durable keys recovered. Churn alone leaves every link ideal, so the
+// paper's guarantees apply unexcused — the verdicts must be fully
+// scored (NetExcused false) AND pass, with worker-count byte-identity.
+func TestChurnScoredInFull(t *testing.T) {
+	spec := Spec{
+		Name:        "churn-recovery",
+		Protocols:   []string{ProtoChain, ProtoFDBA},
+		Cases:       []Case{{N: 4, T: 1}},
+		Schemes:     []string{sig.SchemeToy},
+		Adversaries: []string{AdvNone},
+		NetConds:    []string{"churn=2@2-4"},
+		SeedBase:    7,
+		SeedCount:   3,
+	}
+	rep1, err := Run(spec, 1)
+	if err != nil {
+		t.Fatalf("Run(workers=1): %v", err)
+	}
+	rep4, err := Run(spec, 4)
+	if err != nil {
+		t.Fatalf("Run(workers=4): %v", err)
+	}
+	j1, _ := rep1.CanonicalJSON()
+	j4, _ := rep4.CanonicalJSON()
+	if !bytes.Equal(j1, j4) {
+		t.Fatal("churn report differs between 1 and 4 workers")
+	}
+	for _, g := range rep1.Groups {
+		if g.NetCond != "churn-2-r2-r4" {
+			t.Errorf("group %s: netcond %q, want churn-2-r2-r4", g.Key, g.NetCond)
+		}
+		if g.Errors != 0 {
+			t.Errorf("group %s: %d errors", g.Key, g.Errors)
+		}
+		if g.Conformant != g.Instances || len(g.Violations) != 0 {
+			t.Errorf("group %s: %d/%d conformant, violations %v — churn must be scored in full and pass",
+				g.Key, g.Conformant, g.Instances, g.Violations)
+		}
+	}
+	for _, res := range rep1.Results {
+		if res.Conformance == nil {
+			t.Fatalf("instance %s: no verdict", res.Group)
+		}
+		if res.Conformance.NetExcused {
+			t.Errorf("instance %s: churn-only condition wrongly excused", res.Group)
+		}
+	}
+}

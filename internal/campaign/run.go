@@ -102,11 +102,16 @@ func runInto(inst Instance, cache *protocol.SetupCache, res *Result) error {
 	if err != nil {
 		return err
 	}
+	net, err := inst.netcondSpec()
+	if err != nil {
+		return err
+	}
 	pinst := protocol.Instance{
 		N:        inst.N,
 		T:        inst.T,
 		Scheme:   inst.Scheme,
 		Strategy: strat,
+		Net:      net,
 		Seed:     inst.Seed,
 		KeySeed:  inst.KeySeed,
 	}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -23,6 +24,9 @@ type GroupSummary struct {
 	T         int    `json:"t"`
 	Scheme    string `json:"scheme,omitempty"`
 	Adversary string `json:"adversary"`
+	// NetCond names the group's network condition ("" for ideal, so
+	// pre-netcond reports keep their exact bytes).
+	NetCond string `json:"netcond,omitempty"`
 	// Instances is the number of runs in the group; Errors of them
 	// failed to run and contribute to no other field.
 	Instances int `json:"instances"`
@@ -72,9 +76,10 @@ func (r *Report) CanonicalJSON() ([]byte, error) {
 type Option func(*runConfig)
 
 type runConfig struct {
-	setupCache bool
-	cacheCap   int
-	rec        *obs.Recorder
+	setupCache  bool
+	cacheCap    int
+	rec         *obs.Recorder
+	instTimeout time.Duration
 }
 
 // WithObserver attaches a structured-event recorder to the run: every
@@ -106,6 +111,22 @@ func WithSetupCacheCap(n int) Option {
 	return func(c *runConfig) { c.cacheCap = n }
 }
 
+// ErrInstanceTimeout is the fixed Err string recorded for instances the
+// watchdog parked. Fixed so a timed-out instance contributes the same
+// report bytes no matter which worker hit the deadline.
+const ErrInstanceTimeout = "campaign: instance watchdog timeout"
+
+// WithInstanceTimeout arms a per-instance watchdog: an instance still
+// running after d is abandoned and recorded as an error with
+// ErrInstanceTimeout, so one livelocked combination cannot hang a whole
+// sweep. Default off (zero): the watchdog measures wall time, so arming
+// it trades the strict any-worker-count byte-identity guarantee for
+// liveness — only results near the deadline can differ, and only by
+// becoming this fixed error.
+func WithInstanceTimeout(d time.Duration) Option {
+	return func(c *runConfig) { c.instTimeout = d }
+}
+
 // Scheduler abstracts HOW a campaign's expanded instances execute: the
 // in-process sharded pool (Local), or the fault-tolerant
 // coordinator/worker scheduler (internal/sched) that leases batches to
@@ -124,8 +145,10 @@ type Scheduler interface {
 // (one Executor per local shard, one per remote worker process). Not
 // safe for concurrent use — give each worker its own.
 type Executor struct {
-	cache *protocol.SetupCache
-	rec   *obs.Recorder
+	cache    *protocol.SetupCache
+	cacheCap int
+	rec      *obs.Recorder
+	timeout  time.Duration
 }
 
 // NewExecutor builds an executor honoring the run options (setup cache
@@ -135,7 +158,7 @@ func NewExecutor(opts ...Option) *Executor {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	e := &Executor{rec: cfg.rec}
+	e := &Executor{rec: cfg.rec, cacheCap: cfg.cacheCap, timeout: cfg.instTimeout}
 	if cfg.setupCache {
 		e.cache = protocol.NewSetupCache(cfg.cacheCap)
 	}
@@ -143,28 +166,67 @@ func NewExecutor(opts ...Option) *Executor {
 }
 
 // Run executes one instance, reusing the executor's cached setup where
-// the driver allows it. With an observer attached it brackets the run
-// in a "campaign.instance" span carrying the wall-time and verdict the
-// deterministic report cannot.
+// the driver allows it. With an instance timeout armed, the run is raced
+// against the watchdog (see WithInstanceTimeout). The watchdog branch
+// lives in its own method so the goroutine closure there cannot make
+// inst escape on this, the default, path — escape analysis is
+// function-wide, and the sweep benchmarks hold this path allocation-flat.
 func (e *Executor) Run(inst Instance) Result {
+	if e.timeout <= 0 {
+		return e.run(inst, e.cache)
+	}
+	return e.runWatched(inst)
+}
+
+// runWatched races the instance against the armed watchdog timer.
+func (e *Executor) runWatched(inst Instance) Result {
+	cache := e.cache
+	done := make(chan Result, 1)
+	go func() { done <- e.run(inst, cache) }()
+	timer := time.NewTimer(e.timeout)
+	defer timer.Stop()
+	select {
+	case res := <-done:
+		return res
+	case <-timer.C:
+		if cache != nil {
+			// The parked goroutine still holds the old cache; hand the
+			// next instance a fresh one so the two can never race.
+			e.cache = protocol.NewSetupCache(e.cacheCap)
+		}
+		if e.rec.Enabled() {
+			e.rec.Emit(obs.Event{Kind: obs.KindPoint, Scope: "campaign.watchdog",
+				Inst: inst.Index, Proto: inst.Protocol, Node: -1,
+				Attrs: obs.Attrs("group", inst.GroupKey(), "seed", inst.Seed,
+					"timeout", e.timeout.String())})
+		}
+		return Result{Index: inst.Index, Group: inst.GroupKey(), Seed: inst.Seed,
+			Err: ErrInstanceTimeout}
+	}
+}
+
+// run executes one instance against an explicit cache. With an observer
+// attached it brackets the run in a "campaign.instance" span carrying
+// the wall-time and verdict the deterministic report cannot.
+func (e *Executor) run(inst Instance, cache *protocol.SetupCache) Result {
 	if !e.rec.Enabled() {
-		return runInstance(inst, e.cache)
+		return runInstance(inst, cache)
 	}
 	hitsBefore := 0
-	if e.cache != nil {
-		hitsBefore, _ = e.cache.Stats()
+	if cache != nil {
+		hitsBefore, _ = cache.Stats()
 	}
 	span := e.rec.Begin(obs.Event{Scope: "campaign.instance",
 		Inst: inst.Index, Proto: inst.Protocol, Node: -1,
 		Attrs: obs.Attrs("group", inst.GroupKey(), "seed", inst.Seed)})
-	res := runInstance(inst, e.cache)
+	res := runInstance(inst, cache)
 	verdict := "ok"
 	if res.Err != "" {
 		verdict = "err"
 	}
 	cacheState := "off"
-	if e.cache != nil {
-		if hits, _ := e.cache.Stats(); hits > hitsBefore {
+	if cache != nil {
+		if hits, _ := cache.Stats(); hits > hitsBefore {
 			cacheState = "hit"
 		} else {
 			cacheState = "miss"
@@ -315,6 +377,7 @@ func assemble(spec Spec, instances []Instance, results []Result) *Report {
 			T:              inst.T,
 			Scheme:         inst.Scheme,
 			Adversary:      inst.Adversary,
+			NetCond:        inst.NetCond,
 			Instances:      c.total,
 			Errors:         c.errors,
 			Conformant:     c.conformant,
@@ -365,18 +428,22 @@ func (r *Report) Violations() int {
 func (r *Report) Table() *metrics.Table {
 	title := fmt.Sprintf("Campaign %q — %d instances, %d groups", r.Name, r.Instances, len(r.Groups))
 	tbl := metrics.NewTable(title,
-		"protocol", "n", "t", "scheme", "adversary", "runs", "errs",
+		"protocol", "n", "t", "scheme", "adversary", "netcond", "runs", "errs",
 		"agree", "discover", "conform", "msgs mean", "msgs p99", "bytes mean", "rounds mean")
 	for _, g := range r.Groups {
 		scheme := g.Scheme
 		if scheme == "" {
 			scheme = "-"
 		}
+		nc := g.NetCond
+		if nc == "" {
+			nc = "-"
+		}
 		conform := 0.0
 		if ok := g.Instances - g.Errors; ok > 0 {
 			conform = float64(g.Conformant) / float64(ok)
 		}
-		tbl.AddRow(g.Protocol, g.N, g.T, scheme, g.Adversary, g.Instances, g.Errors,
+		tbl.AddRow(g.Protocol, g.N, g.T, scheme, g.Adversary, nc, g.Instances, g.Errors,
 			g.AgreeRate, g.DiscoveryRate, conform, g.Messages.Mean, g.Messages.P99,
 			g.Bytes.Mean, g.Rounds.Mean)
 	}

@@ -26,6 +26,7 @@ import (
 	"os"
 
 	"repro/internal/adversary"
+	"repro/internal/netcond"
 	"repro/internal/protocol"
 	"repro/internal/sig"
 )
@@ -83,7 +84,7 @@ type Case struct {
 }
 
 // Spec declares a scenario sweep. The expanded grid is the cross product
-// Protocols × cases × Schemes × Adversaries × seeds, where cases is
+// Protocols × cases × Schemes × Adversaries × NetConds × seeds, where cases is
 // either the explicit Cases list or Sizes × Tols (with Tols empty
 // meaning the classical t = ⌊(n−1)/3⌋ per size). Combinations a protocol
 // cannot express (eig needs n > 3t, equivocate needs a distinguished
@@ -114,6 +115,14 @@ type Spec struct {
 	// AdversarySpecs declares composable adversary strategies in
 	// structured form; they sweep after the Adversaries entries.
 	AdversarySpecs []adversary.Strategy `json:"adversary_specs,omitempty"`
+	// NetConds are network conditions in the compact syntax
+	// ("latency=uniform-0-2,loss=0.05,partition=even-odd@1-3", see
+	// netcond.Parse; "ideal" is the no-op network). Empty means every
+	// instance runs on the ideal network unless NetCondSpecs is set.
+	NetConds []string `json:"netconds,omitempty"`
+	// NetCondSpecs declares network conditions in structured form; they
+	// sweep after the NetConds entries.
+	NetCondSpecs []netcond.Spec `json:"netcond_specs,omitempty"`
 	// SeedBase is the base of the deterministic seed range.
 	SeedBase int64 `json:"seed_base"`
 	// SeedCount is how many seeded repetitions each configuration runs.
@@ -160,6 +169,9 @@ func (s Spec) Validate() error {
 		}
 	}
 	if _, err := s.resolveAdversaries(); err != nil {
+		return err
+	}
+	if _, err := s.resolveNetConds(); err != nil {
 		return err
 	}
 	for _, name := range s.Schemes {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/keydist"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/netcond"
 	"repro/internal/obs"
 	"repro/internal/sig"
 	"repro/internal/sim"
@@ -284,14 +285,34 @@ func (c *Cluster) engineTracer(proto string) sim.Tracer {
 	}
 }
 
-// newEngine builds the run engine, attaching the tracer seam only when
-// one is live — the disabled path must not pay even the options-slice
-// allocation (one per instance adds up across a sweep).
-func (c *Cluster) newEngine(proto string, procs []sim.Process, counters *metrics.Counters) (*sim.Engine, error) {
-	if t := c.engineTracer(proto); t != nil {
+// newEngine builds the run engine, attaching the tracer and network
+// seams only when live — the disabled path must not pay even the
+// options-slice allocation (one per instance adds up across a sweep).
+func (c *Cluster) newEngine(proto string, procs []sim.Process, counters *metrics.Counters, net sim.Network) (*sim.Engine, error) {
+	t := c.engineTracer(proto)
+	switch {
+	case t == nil && net == nil:
+		return sim.New(c.cfg, procs, sim.WithCounters(counters))
+	case net == nil:
 		return sim.New(c.cfg, procs, sim.WithCounters(counters), sim.WithTracer(t))
+	case t == nil:
+		return sim.New(c.cfg, procs, sim.WithCounters(counters), sim.WithNetwork(net))
+	default:
+		return sim.New(c.cfg, procs, sim.WithCounters(counters), sim.WithTracer(t), sim.WithNetwork(net))
 	}
-	return sim.New(c.cfg, procs, sim.WithCounters(counters))
+}
+
+// netEmitter adapts the cluster's observer into a netcond.Emitter for
+// partition/heal/churn/delivery-delay points; nil when no observer is
+// attached, so the disabled path costs one nil check.
+func (c *Cluster) netEmitter() netcond.Emitter {
+	if !c.rec.Enabled() {
+		return nil
+	}
+	rec := c.rec
+	return func(scope string, round, node int, attrs string) {
+		rec.Emit(obs.Event{Kind: obs.KindPoint, Scope: scope, Inst: -1, Round: round, Node: node, Attrs: attrs})
+	}
 }
 
 // Reset re-arms the cluster for a new deterministic run sequence under
@@ -407,7 +428,7 @@ func (c *Cluster) EstablishAuthentication(opts ...KeyDistOption) (Report, error)
 		procs[i] = n
 	}
 	counters := metrics.NewCounters()
-	engine, err := c.newEngine("keydist", procs, counters)
+	engine, err := c.newEngine("keydist", procs, counters, nil)
 	if err != nil {
 		return Report{}, err
 	}
@@ -444,6 +465,8 @@ type fdRun struct {
 	overrides map[model.NodeID]sim.Process
 	wrappers  map[model.NodeID]func(sim.Process) sim.Process
 	defBit    byte
+	network   sim.Network
+	churn     map[model.NodeID]netcond.ChurnSpec
 }
 
 // WithProtocol selects the protocol (default ProtocolChain).
@@ -464,6 +487,36 @@ func WithProcess(id model.NodeID, p sim.Process) RunOption {
 // outcome is not collected, exactly as for WithProcess overrides.
 func WithWrappedProcess(id model.NodeID, wrap func(sim.Process) sim.Process) RunOption {
 	return func(r *fdRun) { r.wrappers[id] = wrap }
+}
+
+// WithNetwork layers a network-condition model (typically a
+// *netcond.Model) under this run's engine: message delivery follows the
+// model's fates instead of the ideal next-round schedule. The
+// authentication phase is never degraded — the paper's setup assumes an
+// intact network, and the campaign's setup cache shares established
+// clusters across conditions. When an observer is attached and the
+// network supports it, partition/heal/drop/delay events are emitted.
+func WithNetwork(net sim.Network) RunOption {
+	return func(r *fdRun) { r.network = net }
+}
+
+// WithChurn schedules an honest node's crash-and-restart for this run:
+// the node is down from spec.Crash and — if spec.Restart is set —
+// rejoins at that round rebuilt from its durable state (signer,
+// directory, key material), with all volatile protocol state lost.
+// This is restart-with-recovery on top of the cluster's Reset/Rekey
+// machinery: recovery re-runs node construction against the already
+// established authentication setup, so the rejoined node authenticates
+// exactly as before the crash. A churned node is treated as faulty for
+// outcome collection (the model has no honest-but-silent nodes); later
+// WithChurn calls for the same node replace earlier ones.
+func WithChurn(spec netcond.ChurnSpec) RunOption {
+	return func(r *fdRun) {
+		if r.churn == nil {
+			r.churn = make(map[model.NodeID]netcond.ChurnSpec)
+		}
+		r.churn[model.NodeID(spec.Node)] = spec
+	}
 }
 
 // WithSmallRangeDefault sets the silence-encoded bit for
@@ -490,6 +543,13 @@ func (c *Cluster) RunFailureDiscovery(value []byte, opts ...RunOption) (Report, 
 	span := c.rec.Begin(obs.Event{Scope: "core.fdrun", Inst: -1, Node: -1,
 		Proto: run.protocol.String()})
 
+	emitter := c.netEmitter()
+	if run.network != nil && emitter != nil {
+		if o, ok := run.network.(interface{ SetEmitter(netcond.Emitter) }); ok {
+			o.SetEmitter(emitter)
+		}
+	}
+
 	procs := make([]sim.Process, c.cfg.N)
 	outcomers := make([]fd.Outcomer, c.cfg.N)
 	for i := 0; i < c.cfg.N; i++ {
@@ -501,80 +561,29 @@ func (c *Cluster) RunFailureDiscovery(value []byte, opts ...RunOption) (Report, 
 			procs[i] = p
 			continue
 		}
-		var (
-			p   sim.Process
-			err error
-		)
-		switch run.protocol {
-		case ProtocolChain:
-			var nodeOpts []fd.ChainOption
-			if id == fd.Sender {
-				nodeOpts = append(nodeOpts, fd.WithValue(value))
-			}
-			var n *fd.ChainNode
-			n, err = fd.NewChainNode(c.cfg, id, c.nodes[i].Signer(), c.nodes[i].Directory(), nodeOpts...)
-			if err == nil {
-				outcomers[i] = n
-				p = n
-			}
-		case ProtocolNonAuth:
-			var nodeOpts []fd.NonAuthOption
-			if id == fd.Sender {
-				nodeOpts = append(nodeOpts, fd.WithNonAuthValue(value))
-			}
-			var n *fd.NonAuthNode
-			n, err = fd.NewNonAuthNode(c.cfg, id, nodeOpts...)
-			if err == nil {
-				outcomers[i] = n
-				p = n
-			}
-		case ProtocolSmallRange:
-			nodeOpts := []fd.SmallRangeOption{fd.WithDefault(run.defBit)}
-			if id == fd.Sender {
-				if len(value) != 1 {
-					return Report{}, fmt.Errorf("core: small-range values are single bits, got %d bytes", len(value))
-				}
-				nodeOpts = append(nodeOpts, fd.WithBinaryValue(value[0]))
-			}
-			var n *fd.SmallRangeNode
-			n, err = fd.NewSmallRangeNode(c.cfg, id, c.nodes[i].Signer(), c.nodes[i].Directory(), nodeOpts...)
-			if err == nil {
-				outcomers[i] = n
-				p = n
-			}
-		case ProtocolFDBA:
-			var n *ba.FDBANode
-			n, err = ba.NewFDBANode(c.cfg, id, c.nodes[i].Signer(), c.nodes[i].Directory(), value)
-			if err == nil {
-				outcomers[i] = n
-				p = n
-			}
-		case ProtocolSM:
-			var nodeOpts []ba.SMOption
-			if id == fd.Sender {
-				nodeOpts = append(nodeOpts, ba.WithSMValue(value))
-			}
-			var n *ba.SMNode
-			n, err = ba.NewSMNode(c.cfg, id, c.nodes[i].Signer(), c.nodes[i].Directory(), nodeOpts...)
-			if err == nil {
-				outcomers[i] = n
-				p = n
-			}
-		default:
-			return Report{}, fmt.Errorf("core: unknown protocol %v", run.protocol)
-		}
+		p, out, err := c.buildNode(run.protocol, run.defBit, value, id)
 		if err != nil {
 			return Report{}, fmt.Errorf("core: build %v node %v: %w", run.protocol, id, err)
 		}
+		outcomers[i] = out
 		if wrap, ok := run.wrappers[id]; ok {
 			p = wrap(p)
 			outcomers[i] = nil // wrapped nodes are faulty: no outcome obligation
+		}
+		if ch, ok := run.churn[id]; ok {
+			proto, defBit := run.protocol, run.defBit
+			rebuild := func() (sim.Process, error) {
+				np, _, err := c.buildNode(proto, defBit, value, id)
+				return np, err
+			}
+			p = netcond.NewChurner(p, ch, rebuild, emitter)
+			outcomers[i] = nil // churned nodes are faulty: no outcome obligation
 		}
 		procs[i] = p
 	}
 
 	counters := metrics.NewCounters()
-	engine, err := c.newEngine(run.protocol.String(), procs, counters)
+	engine, err := c.newEngine(run.protocol.String(), procs, counters, run.network)
 	if err != nil {
 		return Report{}, err
 	}
@@ -602,4 +611,67 @@ func (c *Cluster) RunFailureDiscovery(value []byte, opts ...RunOption) (Report, 
 			"bytes", rep.Snapshot.Bytes, "discoveries", len(rep.Discoveries)))
 	}
 	return rep, nil
+}
+
+// buildNode constructs node id's protocol process from the cluster's
+// durable state (signer, directory, key material). It is pure with
+// respect to volatile protocol state, so calling it again mid-run is
+// exactly restart-with-recovery: the netcond churn wrapper uses it as
+// the rebuild hook when a crashed node rejoins. A method rather than a
+// per-run closure so the ideal path stays allocation-flat.
+func (c *Cluster) buildNode(proto Protocol, defBit byte, value []byte, id model.NodeID) (sim.Process, fd.Outcomer, error) {
+	i := int(id)
+	switch proto {
+	case ProtocolChain:
+		var nodeOpts []fd.ChainOption
+		if id == fd.Sender {
+			nodeOpts = append(nodeOpts, fd.WithValue(value))
+		}
+		n, err := fd.NewChainNode(c.cfg, id, c.nodes[i].Signer(), c.nodes[i].Directory(), nodeOpts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return n, n, nil
+	case ProtocolNonAuth:
+		var nodeOpts []fd.NonAuthOption
+		if id == fd.Sender {
+			nodeOpts = append(nodeOpts, fd.WithNonAuthValue(value))
+		}
+		n, err := fd.NewNonAuthNode(c.cfg, id, nodeOpts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return n, n, nil
+	case ProtocolSmallRange:
+		nodeOpts := []fd.SmallRangeOption{fd.WithDefault(defBit)}
+		if id == fd.Sender {
+			if len(value) != 1 {
+				return nil, nil, fmt.Errorf("core: small-range values are single bits, got %d bytes", len(value))
+			}
+			nodeOpts = append(nodeOpts, fd.WithBinaryValue(value[0]))
+		}
+		n, err := fd.NewSmallRangeNode(c.cfg, id, c.nodes[i].Signer(), c.nodes[i].Directory(), nodeOpts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return n, n, nil
+	case ProtocolFDBA:
+		n, err := ba.NewFDBANode(c.cfg, id, c.nodes[i].Signer(), c.nodes[i].Directory(), value)
+		if err != nil {
+			return nil, nil, err
+		}
+		return n, n, nil
+	case ProtocolSM:
+		var nodeOpts []ba.SMOption
+		if id == fd.Sender {
+			nodeOpts = append(nodeOpts, ba.WithSMValue(value))
+		}
+		n, err := ba.NewSMNode(c.cfg, id, c.nodes[i].Signer(), c.nodes[i].Directory(), nodeOpts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return n, n, nil
+	default:
+		return nil, nil, fmt.Errorf("core: unknown protocol %v", proto)
+	}
 }

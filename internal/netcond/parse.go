@@ -1,0 +1,181 @@
+package netcond
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the compact flag syntax for one network condition:
+//
+//	key=value[,key=value,...]
+//
+// Keys:
+//
+//	latency=fixed-<d> | uniform-<min>-<max> | lognormal-<mu>-<sigma>[-<cap>]
+//	loss=<p>          per-message drop probability
+//	reorder=<p>       one-round slip probability
+//	bandwidth=<k>     per-link messages per round
+//	partition=<split>@<from>[-<heal>]   split: halves | even-odd
+//	churn=<node>@<crash>[-<restart>]    (repeatable)
+//	name=<label>      overrides the canonical name
+//
+// The bare word "ideal" (or the empty string) is the zero spec. Several
+// partition= and churn= keys compose; everything else may appear once.
+// The result is validated; malformed input returns an error, never a
+// panic.
+func Parse(input string) (Spec, error) {
+	var s Spec
+	input = strings.TrimSpace(input)
+	if input == "" || input == "ideal" {
+		return s, nil
+	}
+	seen := map[string]bool{}
+	for _, field := range strings.Split(input, ",") {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok || val == "" {
+			return s, fmt.Errorf("netcond: malformed field %q (want key=value)", field)
+		}
+		if key != "partition" && key != "churn" {
+			if seen[key] {
+				return s, fmt.Errorf("netcond: duplicate key %q", key)
+			}
+			seen[key] = true
+		}
+		var err error
+		switch key {
+		case "latency":
+			s.Latency, err = parseLatency(val)
+		case "loss":
+			s.Loss, err = parseProb(val)
+		case "reorder":
+			s.Reorder, err = parseProb(val)
+		case "bandwidth":
+			s.Bandwidth, err = strconv.Atoi(val)
+		case "partition":
+			var p PartitionSpec
+			if p, err = parsePartition(val); err == nil {
+				s.Partitions = append(s.Partitions, p)
+			}
+		case "churn":
+			var c ChurnSpec
+			if c, err = parseChurn(val); err == nil {
+				s.Churn = append(s.Churn, c)
+			}
+		case "name":
+			s.Name = val
+		default:
+			return s, fmt.Errorf("netcond: unknown key %q", key)
+		}
+		if err != nil {
+			return s, fmt.Errorf("netcond: bad %s value %q: %w", key, val, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// parseLatency reads "fixed-2", "uniform-0-3", or
+// "lognormal-0.5-0.3[-6]".
+func parseLatency(val string) (*LatencySpec, error) {
+	dist, rest, _ := strings.Cut(val, "-")
+	args := strings.Split(rest, "-")
+	l := &LatencySpec{Dist: dist}
+	switch dist {
+	case DistFixed:
+		if len(args) != 1 {
+			return nil, fmt.Errorf("want fixed-<rounds>")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return nil, err
+		}
+		l.Rounds = n
+	case DistUniform:
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want uniform-<min>-<max>")
+		}
+		var err1, err2 error
+		l.Min, err1 = strconv.Atoi(args[0])
+		l.Max, err2 = strconv.Atoi(args[1])
+		if err1 != nil {
+			return nil, err1
+		}
+		if err2 != nil {
+			return nil, err2
+		}
+	case DistLognormal:
+		if len(args) != 2 && len(args) != 3 {
+			return nil, fmt.Errorf("want lognormal-<mu>-<sigma>[-<cap>]")
+		}
+		var err error
+		if l.Mu, err = strconv.ParseFloat(args[0], 64); err != nil {
+			return nil, err
+		}
+		if l.Sigma, err = strconv.ParseFloat(args[1], 64); err != nil {
+			return nil, err
+		}
+		if len(args) == 3 {
+			if l.Cap, err = strconv.Atoi(args[2]); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", dist)
+	}
+	return l, nil
+}
+
+// parseProb reads a probability literal. Validation (range, NaN) runs
+// later in Spec.Validate; here only the syntax is checked.
+func parseProb(val string) (float64, error) {
+	return strconv.ParseFloat(val, 64)
+}
+
+// parsePartition reads "<split>@<from>[-<heal>]".
+func parsePartition(val string) (PartitionSpec, error) {
+	var p PartitionSpec
+	split, script, ok := strings.Cut(val, "@")
+	if !ok {
+		return p, fmt.Errorf("want <split>@<from>[-<heal>]")
+	}
+	p.Split = split
+	from, heal, healed := strings.Cut(script, "-")
+	n, err := strconv.Atoi(from)
+	if err != nil {
+		return p, err
+	}
+	p.From = n
+	if healed {
+		if p.Heal, err = strconv.Atoi(heal); err != nil {
+			return p, err
+		}
+	}
+	return p, nil
+}
+
+// parseChurn reads "<node>@<crash>[-<restart>]".
+func parseChurn(val string) (ChurnSpec, error) {
+	var c ChurnSpec
+	node, script, ok := strings.Cut(val, "@")
+	if !ok {
+		return c, fmt.Errorf("want <node>@<crash>[-<restart>]")
+	}
+	n, err := strconv.Atoi(node)
+	if err != nil {
+		return c, err
+	}
+	c.Node = n
+	crash, restart, restarted := strings.Cut(script, "-")
+	if c.Crash, err = strconv.Atoi(crash); err != nil {
+		return c, err
+	}
+	if restarted {
+		if c.Restart, err = strconv.Atoi(restart); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}

@@ -5,6 +5,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fd"
 	"repro/internal/model"
+	"repro/internal/netcond"
 	"repro/internal/sim"
 )
 
@@ -47,14 +48,27 @@ func (d *clusterDriver) Prepare(inst Instance, cache *SetupCache) (Setup, error)
 // Run implements Driver.
 func (d *clusterDriver) Run(inst Instance, setup Setup) (Outcome, error) {
 	c := setup.(*core.Cluster)
-	faulty := inst.Faulty()
+	corrupt := inst.Strategy.CorruptSet(inst.N, inst.Seed)
 	runOpts := []core.RunOption{core.WithProtocol(d.proto)}
-	for _, id := range faulty.Sorted() {
+	for _, id := range corrupt.Sorted() {
 		opt, err := d.faultOption(inst, c, id)
 		if err != nil {
 			return Outcome{}, err
 		}
 		runOpts = append(runOpts, opt)
+	}
+	if net := inst.Net; net != nil {
+		// Churn wraps only nodes the strategy left honest: a node the
+		// adversary already corrupted has no correct process to crash
+		// and restart (and Faulty() counts it once either way).
+		for _, ch := range net.Churn {
+			if id := model.NodeID(ch.Node); id.Valid(inst.N) && !corrupt.Contains(id) {
+				runOpts = append(runOpts, core.WithChurn(ch))
+			}
+		}
+		if net.DegradesLinks() {
+			runOpts = append(runOpts, core.WithNetwork(netcond.NewModel(*net, inst.N, inst.Seed)))
+		}
 	}
 	rep, err := c.RunFailureDiscovery(d.value, runOpts...)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ba"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/netcond"
 	"repro/internal/sim"
 )
 
@@ -53,12 +54,13 @@ func equivocateOral(faceOne model.NodeSet) adversary.Filter {
 func (eigDriver) Run(inst Instance, _ Setup) (Outcome, error) {
 	cfg := inst.Config()
 	strat := inst.Strategy
-	faulty := inst.Faulty()
+	corruptSet := strat.CorruptSet(inst.N, inst.Seed)
+	churn := churnByNode(inst, corruptSet)
 	procs := make([]sim.Process, inst.N)
 	nodes := make([]*ba.EIGNode, inst.N)
 	for i := 0; i < inst.N; i++ {
 		id := model.NodeID(i)
-		corrupt := faulty.Contains(id)
+		corrupt := corruptSet.Contains(id)
 		if corrupt && pureCrash(strat.Behaviors) {
 			procs[i] = sim.Silent{}
 			continue
@@ -70,6 +72,13 @@ func (eigDriver) Run(inst Instance, _ Setup) (Outcome, error) {
 		node, err := ba.NewEIGNode(cfg, id, opts...)
 		if err != nil {
 			return Outcome{}, err
+		}
+		if ch, ok := churn[id]; ok {
+			// Churned honest node: scripted crash/restart; its decision
+			// does not count (nodes[i] stays nil — it is faulty).
+			rebuild := func() (sim.Process, error) { return ba.NewEIGNode(cfg, id, opts...) }
+			procs[i] = netcond.NewChurner(node, ch, rebuild, nil)
+			continue
 		}
 		if corrupt {
 			// A corrupt node runs OM(t) correctly under its behavior stack;
@@ -102,7 +111,11 @@ func (eigDriver) Run(inst Instance, _ Setup) (Outcome, error) {
 	}
 	counters := metrics.NewCounters()
 	maxRounds := ba.EIGEngineRounds(inst.T)
-	simRes, err := sim.RunInstance(cfg, procs, maxRounds, sim.WithCounters(counters))
+	simOpts := []sim.Option{sim.WithCounters(counters)}
+	if net := netModel(inst); net != nil {
+		simOpts = append(simOpts, sim.WithNetwork(net))
+	}
+	simRes, err := sim.RunInstance(cfg, procs, maxRounds, simOpts...)
 	if err != nil {
 		return Outcome{}, err
 	}

@@ -1,0 +1,37 @@
+package protocol
+
+import (
+	"repro/internal/model"
+	"repro/internal/netcond"
+	"repro/internal/sim"
+)
+
+// Shared netcond wiring for drivers that build their own engines (eig,
+// vector); the cluster-backed drivers route the same spec through
+// core.WithNetwork/WithChurn instead.
+
+// netModel compiles the instance's link degradation into a fresh
+// per-run network model, or nil for an ideal network. Each call returns
+// an independent model so concurrent instances never share RNG streams.
+func netModel(inst Instance) sim.Network {
+	if inst.Net == nil || !inst.Net.DegradesLinks() {
+		return nil
+	}
+	return netcond.NewModel(*inst.Net, inst.N, inst.Seed)
+}
+
+// churnByNode maps the instance's churn specs onto the nodes the
+// strategy left honest — a node the adversary already corrupted has no
+// correct process to crash and restart.
+func churnByNode(inst Instance, corrupt model.NodeSet) map[model.NodeID]netcond.ChurnSpec {
+	if inst.Net == nil || len(inst.Net.Churn) == 0 {
+		return nil
+	}
+	out := make(map[model.NodeID]netcond.ChurnSpec, len(inst.Net.Churn))
+	for _, ch := range inst.Net.Churn {
+		if id := model.NodeID(ch.Node); id.Valid(inst.N) && !corrupt.Contains(id) {
+			out[id] = ch
+		}
+	}
+	return out
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/netcond"
 )
 
 // Instance is one fully specified, independently runnable protocol run:
@@ -47,15 +48,30 @@ type Instance struct {
 	// core.WithKeySeed. Two instances sharing (Scheme, N, KeySeed) share
 	// keys, which is what makes cached setup byte-equivalent to fresh.
 	KeySeed int64
+	// Net, when non-nil, is the network condition the instance runs
+	// under: link degradation compiles into a netcond.Model layered under
+	// the engine, and churn entries wrap the named honest nodes with
+	// scripted crash/restart. nil is the ideal network.
+	Net *netcond.Spec
 }
 
 // Config returns the instance's model configuration.
 func (inst Instance) Config() model.Config { return model.Config{N: inst.N, T: inst.T} }
 
-// Faulty resolves the instance's corrupt set — a pure function of the
-// strategy, system size, and run seed.
+// Faulty resolves the instance's faulty set — a pure function of the
+// strategy, network condition, system size, and run seed. Churned nodes
+// count as faulty: the paper's model has no honest-but-silent nodes, so
+// a crash/restart node spends its downtime inside the fault budget t.
 func (inst Instance) Faulty() model.NodeSet {
-	return inst.Strategy.CorruptSet(inst.N, inst.Seed)
+	set := inst.Strategy.CorruptSet(inst.N, inst.Seed)
+	if inst.Net != nil {
+		for _, node := range inst.Net.ChurnNodes() {
+			if model.NodeID(node).Valid(inst.N) {
+				set.Add(model.NodeID(node))
+			}
+		}
+	}
+	return set
 }
 
 // Capabilities declares what a driver supports, so generic consumers
@@ -125,6 +141,35 @@ func (c Capabilities) Supports(n, t int, strat adversary.Strategy) bool {
 		return false
 	}
 	return true
+}
+
+// SupportsNet reports whether the network condition is expressible on
+// top of an already supported (n, t, strategy) combination. Like
+// Supports, the rules are seed-independent: churned nodes are extra
+// faulty nodes, so they need t ≥ 1, valid IDs, no overlap with the
+// strategy's fixed corrupt set (the same node cannot be both), and the
+// combined worst-case faulty count — strategy corruption plus churn —
+// must stay within t (a seed-driven coalition can only shrink the
+// union, never grow it). Link conditions (latency, loss, partitions)
+// constrain nothing: they degrade the network, not the processes.
+func (c Capabilities) SupportsNet(n, t int, strat adversary.Strategy, net *netcond.Spec) bool {
+	if net == nil || len(net.Churn) == 0 {
+		return true
+	}
+	if t < 1 {
+		return false
+	}
+	fixed := make(map[int]bool, len(strat.Nodes))
+	for _, id := range strat.Nodes {
+		fixed[id] = true
+	}
+	churned := net.ChurnNodes()
+	for _, node := range churned {
+		if !model.NodeID(node).Valid(n) || fixed[node] {
+			return false
+		}
+	}
+	return strat.CorruptSize()+len(churned) <= t
 }
 
 // SubRun is the raw material one conformance evaluation consumes: the

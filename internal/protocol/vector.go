@@ -9,6 +9,7 @@ import (
 	"repro/internal/keydist"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/netcond"
 	"repro/internal/sim"
 )
 
@@ -42,20 +43,32 @@ func (vectorDriver) Run(inst Instance, setup Setup) (Outcome, error) {
 	cfg := inst.Config()
 	strat := inst.Strategy
 	faulty := inst.Faulty()
+	corruptSet := strat.CorruptSet(inst.N, inst.Seed)
+	churn := churnByNode(inst, corruptSet)
 	procs := make([]sim.Process, inst.N)
 	nodes := make([]*fd.VectorNode, inst.N)
 	for i := 0; i < inst.N; i++ {
 		id := model.NodeID(i)
-		if faulty.Contains(id) && pureCrash(strat.Behaviors) {
+		if corruptSet.Contains(id) && pureCrash(strat.Behaviors) {
 			procs[i] = sim.Silent{}
 			continue
 		}
-		node, err := fd.NewVectorNode(cfg, id, kdNodes[i].Signer(), kdNodes[i].Directory(),
-			[]byte(fmt.Sprintf("proposal-%d", i)))
+		buildNode := func() (*fd.VectorNode, error) {
+			return fd.NewVectorNode(cfg, id, kdNodes[i].Signer(), kdNodes[i].Directory(),
+				[]byte(fmt.Sprintf("proposal-%d", i)))
+		}
+		node, err := buildNode()
 		if err != nil {
 			return Outcome{}, err
 		}
-		if faulty.Contains(id) {
+		if ch, ok := churn[id]; ok {
+			// Churned honest node: scripted crash/restart with durable key
+			// state recovered; it reports no outcome (nodes[i] stays nil).
+			rebuild := func() (sim.Process, error) { return buildNode() }
+			procs[i] = netcond.NewChurner(node, ch, rebuild, nil)
+			continue
+		}
+		if corruptSet.Contains(id) {
 			// A corrupt node runs the correct protocol under its behavior
 			// stack; it reports no outcome (nodes[i] stays nil).
 			behaviors, err := adversary.BuildBehaviors(strat.Behaviors, inst.N)
@@ -70,7 +83,11 @@ func (vectorDriver) Run(inst Instance, setup Setup) (Outcome, error) {
 	}
 	counters := metrics.NewCounters()
 	maxRounds := fd.ChainEngineRounds(inst.T)
-	simRes, err := sim.RunInstance(cfg, procs, maxRounds, sim.WithCounters(counters))
+	simOpts := []sim.Option{sim.WithCounters(counters)}
+	if net := netModel(inst); net != nil {
+		simOpts = append(simOpts, sim.WithNetwork(net))
+	}
+	simRes, err := sim.RunInstance(cfg, procs, maxRounds, simOpts...)
 	if err != nil {
 		return Outcome{}, err
 	}

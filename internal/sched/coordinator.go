@@ -35,6 +35,12 @@ type Coordinator struct {
 	// endpoint: the run loop republishes it on every state change, readers
 	// load it lock-free at any time mid-run.
 	snap atomic.Pointer[DebugSnapshot]
+
+	// connStats aggregates the wire traffic of every adopted worker
+	// connection (frames, bytes, redials); the debug snapshot exports it
+	// so a degraded network — redialing workers, heartbeat loss — is
+	// visible live on /debug/sched.
+	connStats transport.ConnStats
 }
 
 // link is a handshaken worker connection awaiting adoption by the loop.
@@ -80,6 +86,7 @@ func (c *Coordinator) Serve(a transport.Acceptor) error {
 // Attach performs the hello handshake on conn and registers the worker.
 // Workers attaching after the campaign completed are told to shut down.
 func (c *Coordinator) Attach(conn transport.Conn) error {
+	conn = transport.CountConn(conn, &c.connStats)
 	frame, err := conn.Recv()
 	if err != nil {
 		conn.Close()
@@ -182,11 +189,12 @@ type runLoop struct {
 	leaseSeq  int
 	joined    int
 	remaining int
-	rr        int // round-robin cursor over workers for fair lease spread
+	rr        int       // round-robin cursor over workers for fair lease spread
 	noWorkers time.Time // since when zero workers are connected (zero value: workers exist)
 	outcome   *Outcome
 	rec       *obs.Recorder // telemetry sink (Config.Observer; nil = off)
 	snap      *atomic.Pointer[DebugSnapshot]
+	connStats *transport.ConnStats // shared with Attach-wrapped worker conns
 }
 
 // Execute implements campaign.Scheduler. It blocks until every batch is
@@ -215,6 +223,7 @@ func (c *Coordinator) Execute(_ campaign.Spec, instances []campaign.Instance) ([
 		outcome:   &Outcome{Schema: OutcomeSchema},
 		rec:       c.cfg.Observer,
 		snap:      &c.snap,
+		connStats: &c.connStats,
 	}
 	for lo := 0; lo < len(instances); lo += c.cfg.BatchSize {
 		hi := lo + c.cfg.BatchSize

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/transport"
 )
 
 // DebugSchema identifies the live scheduler snapshot JSON layout.
@@ -45,7 +46,12 @@ type DebugSnapshot struct {
 	Instances int                   `json:"instances"`
 	Batches   BatchDebug            `json:"batches"`
 	Stats     metrics.SchedCounters `json:"stats"`
-	Workers   []WorkerDebug         `json:"workers,omitempty"`
+	// Conn aggregates wire traffic over every adopted worker connection
+	// — frames, payload bytes, and dial retries — so flaky links show up
+	// live (a climbing redial count is a degraded network, not a bug in
+	// the lease protocol).
+	Conn    transport.ConnStatsSnapshot `json:"conn"`
+	Workers []WorkerDebug               `json:"workers,omitempty"`
 }
 
 // Debug returns the latest published snapshot (zero-valued before
@@ -69,6 +75,7 @@ func (r *runLoop) publish(now time.Time) {
 		UpdatedAt: now,
 		Instances: len(r.instances),
 		Stats:     r.outcome.Stats,
+		Conn:      r.connStats.Snapshot(),
 	}
 	for _, t := range r.tasks {
 		switch t.state {

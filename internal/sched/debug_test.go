@@ -86,6 +86,16 @@ func TestCoordinatorTelemetryAndDebugSnapshot(t *testing.T) {
 	if len(snap.Workers) != 2 {
 		t.Errorf("snapshot lists %d workers, want 2", len(snap.Workers))
 	}
+	// Every lease, result, and heartbeat crossed the counted worker
+	// conns, so the aggregate wire stats must be non-zero (and redials
+	// zero: pipes never dial).
+	if snap.Conn.FramesSent == 0 || snap.Conn.FramesRecv == 0 ||
+		snap.Conn.BytesSent == 0 || snap.Conn.BytesRecv == 0 {
+		t.Errorf("snapshot conn stats empty: %+v", snap.Conn)
+	}
+	if snap.Conn.Redials != 0 {
+		t.Errorf("pipe transport recorded %d redials", snap.Conn.Redials)
+	}
 
 	// The HTTP surface serves the same snapshot plus stdlib expvar/pprof.
 	ts := httptest.NewServer(coord.DebugMux())

@@ -54,6 +54,23 @@ func CoalitionSeed(runSeed int64) int64 {
 	return mix64(uint64(mix64(uint64(runSeed))) ^ coalitionDomain)
 }
 
+// linkDomain separates the per-link network-condition domain from the
+// run-entropy, key-material, and coalition domains.
+const linkDomain uint64 = 0x6C696E6B2D646F6D // "link-dom"
+
+// NetLinkSeed derives the seed for the directed link from→to under a run
+// seed: a stream domain distinct from run entropy, key material, and
+// coalition selection, so network fates (loss, latency draws) can never
+// correlate with protocol nonces or corrupt-set choices drawn from the
+// same instance seed. Links are directed — from→to and to→from get
+// independent streams — and only the sender ever draws from a link's
+// stream, which is what keeps fates identical between the lockstep
+// engine and the concurrent transport runners. Like KeyMaterialSeed,
+// the domain tag is folded in after a full mixing round.
+func NetLinkSeed(runSeed int64, from, to int) int64 {
+	return mix64(uint64(NodeSeed(NodeSeed(runSeed, from), to)) ^ linkDomain)
+}
+
 // NodeSeed derives a distinct per-node seed from a run seed, so nodes get
 // independent deterministic streams.
 func NodeSeed(runSeed int64, node int) int64 {

@@ -66,6 +66,28 @@ func (Silent) Step(int, []model.Message) []model.Message { return nil }
 // Finished implements Finisher.
 func (Silent) Finished() bool { return true }
 
+// Drop is the Network fate meaning the message is lost in transit.
+const Drop = -1
+
+// Network decides the delivery fate of each message as it enters the
+// network. Fate is called once per message, in deterministic program
+// order (sender ID, then the sender's send order), with the message
+// already stamped with From and the sending round. It returns:
+//
+//	0     ideal delivery (next round), the synchronous-model default
+//	d > 0 delivery delayed by d extra rounds (arrives in round+1+d)
+//	Drop  the message is lost and never delivered
+//
+// A nil Network is the ideal network of the paper's model (§2, N1).
+// Implementations may keep per-link state (seeded RNG streams,
+// bandwidth windows); the engine never calls Fate concurrently.
+// internal/netcond compiles declarative condition specs into this
+// interface; internal/transport applies the same fates sender-side so
+// socket runs degrade identically.
+type Network interface {
+	Fate(m model.Message, round int) int
+}
+
 // Result is the outcome of a simulator run.
 type Result struct {
 	// Rounds is the number of engine steps executed.
@@ -86,6 +108,9 @@ type Engine struct {
 	// rounds is tracer when it also implements RoundTracer, resolved
 	// once at option time so Run pays no per-round type assertions.
 	rounds RoundTracer
+	// net, when non-nil, decides per-message delivery fates; nil is the
+	// ideal synchronous network and keeps Run on its original path.
+	net Network
 }
 
 // Option configures an Engine.
@@ -99,6 +124,19 @@ func WithTracer(t Tracer) Option {
 		e.tracer = t
 		e.rounds, _ = t.(RoundTracer)
 	}
+}
+
+// WithNetwork layers a network-condition model under the engine: every
+// send consults net.Fate and is delivered next round, delayed, or
+// dropped accordingly. Delayed messages are restamped with the round
+// they are effectively sent in (round+d), wait in a virtual-clock
+// delivery queue, and join the destination inbox in round+1+d, where
+// the usual deterministic sort orders them; a delay that would land
+// past maxRounds is never delivered, exactly like a real deadline
+// miss. WithNetwork(nil) is a no-op: the ideal path stays
+// byte-identical and allocation-flat.
+func WithNetwork(n Network) Option {
+	return func(e *Engine) { e.net = n }
 }
 
 // WithCounters uses an external counter set, letting callers accumulate
@@ -156,6 +194,14 @@ func (e *Engine) Run(maxRounds int) *Result {
 	// before delivery anyway), so seeded runs are byte-identical.
 	inFlight := make([][]model.Message, e.cfg.N)
 	next := make([][]model.Message, e.cfg.N)
+	// delayed is the virtual-clock delivery queue, keyed by delivery
+	// round; it exists only under a network-condition model, so the
+	// ideal path allocates nothing extra.
+	var delayed map[int][]model.Message
+	pending := 0
+	if e.net != nil {
+		delayed = make(map[int][]model.Message)
+	}
 	rounds := 0
 	for round := 1; round <= maxRounds; round++ {
 		rounds = round
@@ -164,6 +210,18 @@ func (e *Engine) Run(maxRounds int) *Result {
 		}
 		for i := range next {
 			next[i] = next[i][:0]
+		}
+		if pending > 0 {
+			if late := delayed[round]; len(late) > 0 {
+				// Late arrivals join this round's inboxes before the
+				// deterministic sort, so their position never depends on
+				// when they were queued.
+				for _, m := range late {
+					inFlight[m.To] = append(inFlight[m.To], m)
+				}
+				pending -= len(late)
+				delete(delayed, round)
+			}
 		}
 		sentAny := false
 		sent := 0
@@ -187,6 +245,27 @@ func (e *Engine) Run(maxRounds int) *Result {
 				}
 				m.From = id
 				m.Round = round
+				if e.net != nil {
+					switch d := e.net.Fate(m, round); {
+					case d < 0:
+						// Lost in transit: the send happened (and is
+						// counted), the delivery never does.
+						e.count.Record(m)
+						sent++
+						continue
+					case d > 0:
+						// Restamped as if sent d rounds later — the same
+						// stamp the transport runner puts on the wire, so
+						// receiver views match the socket path exactly.
+						m.Round = round + d
+						e.count.Record(m)
+						sentAny = true
+						sent++
+						delayed[round+1+d] = append(delayed[round+1+d], m)
+						pending++
+						continue
+					}
+				}
 				e.count.Record(m)
 				sentAny = true
 				sent++
@@ -197,7 +276,7 @@ func (e *Engine) Run(maxRounds int) *Result {
 			e.rounds.RoundEnd(round, sent)
 		}
 		inFlight, next = next, inFlight
-		if !sentAny && e.allFinished() {
+		if !sentAny && pending == 0 && e.allFinished() {
 			break
 		}
 	}

@@ -17,6 +17,7 @@ type Runner struct {
 	proc     sim.Process
 	counters *metrics.Counters
 	tracer   sim.Tracer
+	netPick  func(model.NodeID) sim.Network
 }
 
 // RunnerOption configures a Runner.
@@ -29,6 +30,23 @@ type RunnerOption func(*Runner)
 // safe for concurrent use when runners share it (RunCluster does).
 func WithRunnerTracer(t sim.Tracer) RunnerOption {
 	return func(r *Runner) { r.tracer = t }
+}
+
+// WithRunnerNetwork attaches a sender-side network model: every message
+// the runner emits is offered to pick(self).Fate exactly as the lockstep
+// engine offers it (after From/Round stamping, before counting), so a
+// socket run under degradation stays message-for-message identical to
+// the simulator run with the same model. pick is called once per runner
+// with the node's own ID and must return a model private to that node —
+// only the self→* link streams are ever drawn from, which is what keeps
+// concurrent runners equal to the one-model lockstep engine. Delayed
+// messages are restamped with their effective send round and shipped
+// immediately; the receiver's round+1 buffering then delivers them late,
+// matching the engine's delivery queue. DONE barriers are never
+// degraded: the paper's synchrony bound is modeled inside the round
+// structure, not by breaking the round structure itself.
+func WithRunnerNetwork(pick func(self model.NodeID) sim.Network) RunnerOption {
+	return func(r *Runner) { r.netPick = pick }
 }
 
 // NewRunner wraps a process for execution over tr. counters may be nil.
@@ -49,6 +67,10 @@ func (r *Runner) Run(maxRounds int) (model.View, error) {
 	self := r.tr.Self()
 	view := model.View{Node: self}
 	peers := r.tr.Peers()
+	var net sim.Network
+	if r.netPick != nil {
+		net = r.netPick(self)
+	}
 
 	// pending[round] buffers messages that arrive before we reach their
 	// round (a faster peer may race ahead by one barrier).
@@ -79,10 +101,25 @@ func (r *Runner) Run(maxRounds int) (model.View, error) {
 			}
 			m.From = self
 			m.Round = round
+			if net != nil {
+				switch d := net.Fate(m, round); {
+				case d < 0:
+					// Lost on the wire: counted as sent (the sender did the
+					// work), never shipped — exactly the engine's drop path.
+					if r.counters != nil {
+						r.counters.Record(m)
+					}
+					continue
+				case d > 0:
+					// Delayed d rounds: restamp as if sent later and ship
+					// now; the receiver buffers it for round m.Round+1.
+					m.Round = round + d
+				}
+			}
 			if r.counters != nil {
 				r.counters.Record(m)
 			}
-			if err := r.tr.Send(m.To, encodeFrame(frameMessage, round, m.Kind, m.Payload)); err != nil {
+			if err := r.tr.Send(m.To, encodeFrame(frameMessage, m.Round, m.Kind, m.Payload)); err != nil {
 				return view, fmt.Errorf("transport: send round %d: %w", round, err)
 			}
 		}
