@@ -317,7 +317,7 @@ func BenchmarkChainExtend(b *testing.B) {
 // EIG hot path: path-keyed tree ingestion, relaying, and the bottom-up
 // resolve.
 func BenchmarkEIG(b *testing.B) {
-	for _, bc := range []struct{ n, t int }{{10, 3}, {16, 3}, {16, 5}} {
+	for _, bc := range []struct{ n, t int }{{10, 3}, {16, 3}, {16, 5}, {64, 2}} {
 		b.Run(fmt.Sprintf("n=%d_t=%d", bc.n, bc.t), perfbench.EIG(bc.n, bc.t))
 	}
 }

@@ -29,7 +29,8 @@ type namedBench struct {
 }
 
 // perfSuite lists the headline hot paths: chain-signature verification
-// (cold and memoized), chain extension, a full EIG agreement at n=16,
+// (cold and memoized), chain extension, full EIG agreements (deep n=16
+// t=3 and the wide n=64 t=2 grid point),
 // authenticated failure-discovery runs with fresh values at n=16, the
 // keydist handshake (the setup cost that Reset and the campaign cache
 // amortize, plus its per-peer round-trip unit), and 100-seed campaign
@@ -41,6 +42,7 @@ func perfSuite() []namedBench {
 		{"chain_verify_warm/hops=16", perfbench.ChainVerify(16, false)},
 		{"chain_extend/hops=16", perfbench.ChainExtend(16)},
 		{"eig/n=16_t=3", perfbench.EIG(16, 3)},
+		{"eig/n=64_t=2", perfbench.EIG(64, 2)},
 		{"fd_chain_run/n=16_t=5", perfbench.FDRun(16, 5)},
 		{"keydist_handshake/n=16_t=5", perfbench.KeydistHandshake(16, 5)},
 		{"keydist_roundtrip/ed25519", perfbench.HandshakeRoundTrip(sig.SchemeEd25519)},

@@ -3,6 +3,8 @@ package ba
 import (
 	"bytes"
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/model"
@@ -34,11 +36,17 @@ import (
 // messages.
 //
 // Because the tree is exponential, the representation is deliberately
-// lean: paths are indexed by byte-packed keys (one byte per node ID —
-// maxEIGNodes bounds n accordingly), the resolve step is an iterative
-// bottom-up sweep over level-ordered key arenas instead of a recursion
-// that re-derives every path, and the per-round relay and message slices
-// are reused across rounds.
+// lean: the tree is stored as rank-indexed per-level slot arrays — a
+// path maps to (level, rank) by pure arithmetic (rankOf), so ingest is
+// an array write instead of a map insert and resolution never touches a
+// hash table — and the per-round relay and message slices are reused
+// across rounds. Within a round the slot layout makes the heavy phases
+// parallel: entries from different senders can never address the same
+// slot (a valid path ends with its sender), so ingest fans sender groups
+// across goroutines with lock-free disjoint writes, and the bottom-up
+// resolution is embarrassingly parallel within each level. Both engage
+// only past size thresholds and are byte-identical to the serial paths
+// at any worker count (SetEIGParallelism, differential-tested).
 
 // maxEIGNodes bounds the system size so a node ID always packs into one
 // key byte. OM(t) is O(n^t); anywhere near this bound it is unrunnable
@@ -52,22 +60,24 @@ type EIGNode struct {
 
 	// value is the sender's initial value (sender only).
 	value []byte
-	// tree maps byte-packed path keys to reported values.
-	tree map[string][]byte
+	// levels[d] holds every depth-d tree vertex (path length d+1) in
+	// resolveTree's enumeration order, addressed by rankOf.
+	levels []eigLevel
 	// entries counts the path entries this node has relayed (the classical
 	// OM(t) cost metric).
 	entries *atomic.Int64
 
 	// Per-round scratch, reused across Step calls to keep the relay loop
-	// allocation-flat: packed-key buffer, ingested-entry and relay-entry
-	// slices, the arena backing extended paths, and the outgoing message
-	// slice (the engine consumes returned messages before the next round,
-	// so the backing array can be recycled).
-	keyBuf   []byte
-	freshBuf []OralEntry
-	relayBuf []OralEntry
-	extArena []model.NodeID
-	msgBuf   []model.Message
+	// allocation-flat: ingested-entry and relay-entry slices, the arena
+	// backing extended paths, the path buffer of the final-round streaming
+	// ingest, and the outgoing message slice (the engine consumes returned
+	// messages before the next round, so the backing array can be
+	// recycled).
+	freshBuf    []OralEntry
+	relayBuf    []OralEntry
+	extArena    []model.NodeID
+	pathScratch []model.NodeID
+	msgBuf      []model.Message
 
 	decision Decision
 	finished bool
@@ -106,7 +116,7 @@ func NewEIGNode(cfg model.Config, id model.NodeID, opts ...EIGOption) (*EIGNode,
 	n := &EIGNode{
 		id:      id,
 		cfg:     cfg,
-		tree:    make(map[string][]byte),
+		levels:  makeEIGLevels(cfg),
 		entries: new(atomic.Int64),
 	}
 	n.decision.Node = id
@@ -151,8 +161,101 @@ func EIGEntries(n, t int) int {
 	return total
 }
 
-// pathKey canonically encodes a path for map indexing: one byte per node
-// ID, injective because NewEIGNode bounds n at maxEIGNodes.
+// eigLevel is one depth level of the EIG tree: every possible vertex has
+// a pre-assigned slot, addressed by rankOf. occ marks filled slots ([]bool
+// rather than a bitset so concurrent ingest goroutines writing disjoint
+// slots touch disjoint bytes).
+type eigLevel struct {
+	count int
+	occ   []bool
+	val   [][]byte
+}
+
+// makeEIGLevels sizes the slot arrays: level d holds every length-(d+1)
+// sender-rooted path of distinct nodes excluding the resolver, so
+// count(0)=1 and count(d+1) = count(d) * (n-d-2).
+func makeEIGLevels(cfg model.Config) []eigLevel {
+	levels := make([]eigLevel, cfg.T+1)
+	count := 1
+	for d := 0; d <= cfg.T; d++ {
+		if d > 0 {
+			count *= cfg.N - d - 1
+		}
+		levels[d] = eigLevel{count: count, occ: make([]bool, count), val: make([][]byte, count)}
+	}
+	return levels
+}
+
+// rankOf maps a tree path to its slot index within level len(path)-1.
+// The rank is the path's mixed-radix position in resolveTree's
+// enumeration order: the children of the vertex at (level d, rank i)
+// occupy slots [i*(n-d-2), (i+1)*(n-d-2)) of level d+1, ordered by
+// ascending node ID among the IDs not excluded (the path prefix and the
+// resolver). Precondition: the path is valid in validPath's sense —
+// sender-rooted, distinct, no element equal to the resolver — otherwise
+// the arithmetic may alias a valid path's slot.
+func (n *EIGNode) rankOf(path []model.NodeID) int {
+	r := int(n.id)
+	size := n.cfg.N
+	rank := 0
+	for i := 1; i < len(path); i++ {
+		q := int(path[i])
+		below := 0
+		rIn := false
+		for j := 0; j < i; j++ {
+			pj := int(path[j])
+			if pj < q {
+				below++
+			}
+			if pj == r {
+				rIn = true
+			}
+		}
+		if !rIn && r < q {
+			below++
+		}
+		rank = rank*(size-i-1) + q - below
+	}
+	return rank
+}
+
+// storePath inserts a reported value at its path's slot, first report
+// wins. It reports whether the slot was fresh. Concurrent calls are safe
+// when no two goroutines can hold the same path (the per-sender ingest
+// partition guarantees it: a valid path ends with its sender).
+func (n *EIGNode) storePath(path []model.NodeID, v []byte) bool {
+	d := len(path) - 1
+	if d < 0 || d >= len(n.levels) {
+		return false
+	}
+	lv := &n.levels[d]
+	idx := n.rankOf(path)
+	if idx < 0 || idx >= lv.count || lv.occ[idx] {
+		return false
+	}
+	lv.occ[idx] = true
+	lv.val[idx] = v
+	return true
+}
+
+// loadPath returns the value stored at path, if any.
+func (n *EIGNode) loadPath(path []model.NodeID) ([]byte, bool) {
+	d := len(path) - 1
+	if d < 0 || d >= len(n.levels) {
+		return nil, false
+	}
+	lv := &n.levels[d]
+	idx := n.rankOf(path)
+	if idx < 0 || idx >= lv.count || !lv.occ[idx] {
+		return nil, false
+	}
+	return lv.val[idx], true
+}
+
+// pathKey canonically encodes a path as a byte-packed string: one byte
+// per node ID, injective because NewEIGNode bounds n at maxEIGNodes.
+// The tree itself is rank-indexed and no longer keyed by strings; the
+// packed key remains for diagnostics and the key-structure tests.
 func pathKey(path []model.NodeID) string {
 	return string(appendPathKey(nil, path))
 }
@@ -244,38 +347,74 @@ func unmarshalOralEntries(data []byte) ([]OralEntry, error) {
 	return out, nil
 }
 
+// eigWorkers holds the configured EIG parallelism; 0 means GOMAXPROCS.
+var eigWorkers atomic.Int32
+
+// SetEIGParallelism bounds the goroutines EIG ingest and resolution fan
+// out across. n <= 0 restores the default, GOMAXPROCS; n == 1 keeps both
+// phases fully serial. Decisions (and therefore reports) are
+// byte-identical at any setting; the knob trades wall-clock for cores.
+func SetEIGParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	eigWorkers.Store(int32(n))
+}
+
+// EIGParallelism returns the effective EIG worker bound.
+func EIGParallelism() int {
+	if w := int(eigWorkers.Load()); w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Parallelism engages only past these sizes: below them the goroutine
+// fan-out costs more than the work. Small instances (the campaign grids'
+// n<=10 cells, whose workers are already busy in parallel) stay serial.
+const (
+	// eigParallelIngestBytes is the minimum total oral payload volume in
+	// a round before sender groups ingest concurrently.
+	eigParallelIngestBytes = 32 << 10
+	// eigParallelResolveMin is the minimum leaf count before per-level
+	// parallel resolution engages.
+	eigParallelResolveMin = 2048
+)
+
 // Step implements the sim Process contract.
 func (n *EIGNode) Step(round int, received []model.Message) []model.Message {
 	t := n.cfg.T
+	if round == EIGEngineRounds(t) {
+		// Final round: ingest straight into the tree and resolve. Entries
+		// arriving now are never relayed again, so building []OralEntry
+		// batches (and their path/value arenas) for them — the single
+		// largest allocation of a whole run — would be pure garbage; the
+		// streaming ingest copies only the values that land in fresh slots.
+		n.ingestFinal(round, received)
+		n.resolve()
+		n.finished = true
+		return nil
+	}
 	// Ingest reports from the previous round. Oral messages carry no
 	// signatures: a node can only sanity-check structure, not content —
-	// that weakness is the whole point of OM(t)'s redundancy.
+	// that weakness is the whole point of OM(t)'s redundancy. Large
+	// rounds ingest sender groups in parallel (disjoint slots — see
+	// ingestParallel); the fallback and small rounds take the serial
+	// loop. Both produce identical tree state and fresh order.
 	fresh := n.freshBuf[:0]
-	for _, m := range received {
-		if m.Kind != model.KindOral {
-			continue // not a protocol message; OM ignores it
+	if workers := EIGParallelism(); workers > 1 {
+		var ok bool
+		if fresh, ok = n.ingestParallel(round, received, workers); !ok {
+			fresh = n.ingestSerial(round, received, n.freshBuf[:0])
 		}
-		entries, err := unmarshalOralEntries(m.Payload)
-		if err != nil {
-			continue // malformed: ignore, the majority vote absorbs it
-		}
-		for _, en := range entries {
-			if !n.validPath(en.Path, round-1, m.From) {
-				continue
-			}
-			n.keyBuf = appendPathKey(n.keyBuf[:0], en.Path)
-			if _, dup := n.tree[string(n.keyBuf)]; dup {
-				continue // first report wins; duplicates are faulty noise
-			}
-			n.tree[string(n.keyBuf)] = en.Value
-			fresh = append(fresh, en)
-		}
+	} else {
+		fresh = n.ingestSerial(round, received, fresh)
 	}
 	n.freshBuf = fresh
 
 	switch {
 	case round == 1 && n.id == Sender:
-		n.tree[pathKey([]model.NodeID{Sender})] = n.value
+		n.storePath([]model.NodeID{Sender}, n.value)
 		if t == 0 {
 			n.finished = true
 		}
@@ -285,7 +424,10 @@ func (n *EIGNode) Step(round int, received []model.Message) []model.Message {
 	case round >= 2 && round <= t+1:
 		// Relay every fresh path that does not contain us, extended by us.
 		// All extensions this round have length `round`; they live in one
-		// arena sized up front so the entry slices never move.
+		// arena sized up front so the entry slices never move. The
+		// extensions are NOT stored in the tree: every path through our
+		// own tree excludes us (validPath), so resolution never reads
+		// them — storing them was dead weight.
 		if cap(n.extArena) < len(fresh)*round {
 			n.extArena = make([]model.NodeID, len(fresh)*round)
 		}
@@ -299,8 +441,6 @@ func (n *EIGNode) Step(round int, received []model.Message) []model.Message {
 			arena = append(arena, en.Path...)
 			arena = append(arena, n.id)
 			ext := arena[start:len(arena):len(arena)]
-			n.keyBuf = appendPathKey(n.keyBuf[:0], ext)
-			n.tree[string(n.keyBuf)] = en.Value
 			relay = append(relay, OralEntry{Path: ext, Value: en.Value})
 		}
 		n.relayBuf = relay
@@ -309,11 +449,254 @@ func (n *EIGNode) Step(round int, received []model.Message) []model.Message {
 		}
 		n.entries.Add(int64(len(relay) * (n.cfg.N - 1)))
 		return n.broadcast(relay)
-	case round == EIGEngineRounds(t):
-		n.resolve()
-		n.finished = true
 	}
 	return nil
+}
+
+// ingestSerial is the reference ingest loop: decode, validate, store,
+// collect fresh entries, in arrival order.
+func (n *EIGNode) ingestSerial(round int, received []model.Message, fresh []OralEntry) []OralEntry {
+	for _, m := range received {
+		if m.Kind != model.KindOral {
+			continue // not a protocol message; OM ignores it
+		}
+		entries, err := unmarshalOralEntries(m.Payload)
+		if err != nil {
+			continue // malformed: ignore, the majority vote absorbs it
+		}
+		for _, en := range entries {
+			if !n.validPath(en.Path, round-1, m.From) {
+				continue
+			}
+			if !n.storePath(en.Path, en.Value) {
+				continue // first report wins; duplicates are faulty noise
+			}
+			fresh = append(fresh, en)
+		}
+	}
+	return fresh
+}
+
+// ingestParallel groups the round's oral messages by sender and ingests
+// the groups concurrently. This is lock-free by construction: a valid
+// path's last element is its immediate sender (validPath), so entries
+// from different senders can never address the same tree slot, and
+// first-report-wins dedup within one sender stays serial inside its
+// group. Fresh entries are concatenated in group order — identical to
+// the serial loop's arrival order because the engine's inboxes are
+// sorted by sender. Returns ok=false (caller takes the serial loop) when
+// the round's volume is below eigParallelIngestBytes, when fewer than
+// two senders contributed, or when the inbox interleaves senders (never
+// the case for engine-fed inboxes; direct Step calls in tests may).
+func (n *EIGNode) ingestParallel(round int, received []model.Message, workers int) ([]OralEntry, bool) {
+	totalBytes, oralMsgs := 0, 0
+	for _, m := range received {
+		if m.Kind == model.KindOral {
+			totalBytes += len(m.Payload)
+			oralMsgs++
+		}
+	}
+	if totalBytes < eigParallelIngestBytes || oralMsgs < 2 {
+		return nil, false
+	}
+	groups, ok := oralGroups(received, n.cfg.N)
+	if !ok || len(groups) < 2 {
+		return nil, false
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	results := make([][]OralEntry, len(groups))
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	work := func() {
+		for {
+			g := int(next.Add(1)) - 1
+			if g >= len(groups) {
+				return
+			}
+			var out []OralEntry
+			for _, m := range received[groups[g][0]:groups[g][1]] {
+				if m.Kind != model.KindOral {
+					continue
+				}
+				entries, err := unmarshalOralEntries(m.Payload)
+				if err != nil {
+					continue
+				}
+				for _, en := range entries {
+					if !n.validPath(en.Path, round-1, m.From) {
+						continue
+					}
+					if !n.storePath(en.Path, en.Value) {
+						continue
+					}
+					out = append(out, en)
+				}
+			}
+			results[g] = out
+		}
+	}
+	wg.Add(workers - 1)
+	for w := 0; w < workers-1; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	fresh := n.freshBuf[:0]
+	for _, r := range results {
+		fresh = append(fresh, r...)
+	}
+	return fresh, true
+}
+
+// oralGroups partitions received into contiguous same-sender spans of
+// oral messages — the unit of lock-free parallel ingest (entries from
+// different senders can never address the same tree slot). ok=false when
+// a sender reappears after its span closed (an interleaved inbox — never
+// the case for engine-fed inboxes, possible for direct Step calls) or a
+// sender ID is out of range; callers must then take the serial loop
+// rather than reorder anything.
+func oralGroups(received []model.Message, size int) ([][2]int, bool) {
+	var groups [][2]int
+	var closed [maxEIGNodes]bool
+	curFrom := model.NoNode
+	for i, m := range received {
+		if m.Kind != model.KindOral {
+			continue
+		}
+		if !m.From.Valid(size) {
+			return nil, false
+		}
+		if curFrom != model.NoNode && m.From == curFrom {
+			groups[len(groups)-1][1] = i + 1
+			continue
+		}
+		if closed[m.From] {
+			return nil, false
+		}
+		if curFrom != model.NoNode {
+			closed[curFrom] = true
+		}
+		groups = append(groups, [2]int{i, i + 1})
+		curFrom = m.From
+	}
+	return groups, true
+}
+
+// ingestFinal ingests the resolve round's inbox with the streaming
+// decoder: every entry goes straight into its tree slot, nothing is
+// collected for relay. Large inboxes fan sender groups across workers
+// exactly like ingestParallel; the tree state is byte-identical to the
+// []OralEntry-building ingest (differential-tested) because the decode,
+// validation, and first-report-wins order within each sender is
+// unchanged and slots across senders are disjoint.
+func (n *EIGNode) ingestFinal(round int, received []model.Message) {
+	if workers := EIGParallelism(); workers > 1 {
+		totalBytes, oralMsgs := 0, 0
+		for _, m := range received {
+			if m.Kind == model.KindOral {
+				totalBytes += len(m.Payload)
+				oralMsgs++
+			}
+		}
+		if totalBytes >= eigParallelIngestBytes && oralMsgs >= 2 {
+			if groups, ok := oralGroups(received, n.cfg.N); ok && len(groups) >= 2 {
+				if workers > len(groups) {
+					workers = len(groups)
+				}
+				var next atomic.Int32
+				var wg sync.WaitGroup
+				work := func() {
+					var pathBuf []model.NodeID
+					for {
+						g := int(next.Add(1)) - 1
+						if g >= len(groups) {
+							return
+						}
+						for _, m := range received[groups[g][0]:groups[g][1]] {
+							if m.Kind != model.KindOral {
+								continue
+							}
+							pathBuf = n.storeOralEntries(m.Payload, round, m.From, pathBuf)
+						}
+					}
+				}
+				wg.Add(workers - 1)
+				for w := 0; w < workers-1; w++ {
+					go func() {
+						defer wg.Done()
+						work()
+					}()
+				}
+				work()
+				wg.Wait()
+				return
+			}
+		}
+	}
+	for _, m := range received {
+		if m.Kind != model.KindOral {
+			continue
+		}
+		n.pathScratch = n.storeOralEntries(m.Payload, round, m.From, n.pathScratch)
+	}
+}
+
+// storeOralEntries decodes one oral payload directly into the tree. The
+// first pass validates the full structure (a malformed payload stores
+// nothing, exactly like the unmarshalOralEntries path); the second pass
+// streams entries through a reused path buffer and copies only the
+// values that actually land in a fresh slot into one arena. pathBuf is
+// caller-owned scratch, returned (possibly grown) for reuse.
+func (n *EIGNode) storeOralEntries(data []byte, round int, from model.NodeID, pathBuf []model.NodeID) []model.NodeID {
+	d := sig.NewDecoder(data)
+	count := d.Int()
+	if d.Err() != nil || count < 0 || count > 1<<22 {
+		return pathBuf
+	}
+	totalVal := 0
+	for i := 0; i < count; i++ {
+		plen := d.Int()
+		if d.Err() != nil || plen < 1 || plen > 1<<10 {
+			return pathBuf
+		}
+		for j := 0; j < plen; j++ {
+			d.Int()
+		}
+		totalVal += len(d.Bytes())
+	}
+	if d.Finish() != nil {
+		return pathBuf
+	}
+	// Sized to hold every value, so stored subslices never move when later
+	// values append behind them.
+	valArena := make([]byte, 0, totalVal)
+	d.Reset(data)
+	d.Int() // count, validated above
+	for i := 0; i < count; i++ {
+		plen := d.Int()
+		if cap(pathBuf) < plen {
+			pathBuf = make([]model.NodeID, plen)
+		}
+		path := pathBuf[:plen]
+		for j := range path {
+			path[j] = model.NodeID(d.Int())
+		}
+		v := d.Bytes()
+		if !n.validPath(path, round-1, from) {
+			continue
+		}
+		start := len(valArena)
+		valArena = append(valArena, v...)
+		if !n.storePath(path, valArena[start:len(valArena):len(valArena)]) {
+			valArena = valArena[:start] // duplicate: reclaim the copy
+		}
+	}
+	return pathBuf
 }
 
 // validPath checks that a reported path is structurally possible for this
@@ -368,45 +751,28 @@ func (n *EIGNode) resolve() {
 		n.decision.Value = append([]byte(nil), n.value...)
 		return
 	}
+	workers := EIGParallelism()
+	if workers > 1 && n.levels[len(n.levels)-1].count >= eigParallelResolveMin {
+		n.decision.Value = append([]byte(nil), n.resolveTreeParallel(workers)...)
+		return
+	}
 	n.decision.Value = append([]byte(nil), n.resolveTree()...)
 }
 
-// resolveTree runs the bottom-up majority resolution iteratively over a
-// level-ordered tree of packed path keys. Level d holds every depth-d
-// vertex (path length d+1, distinct nodes, sender-rooted, excluding the
-// resolver) in generation order; every vertex of level d has exactly
-// n-d-2 children, laid out contiguously in level d+1, so parent→child
-// indexing is pure arithmetic and the recursion of the classical
-// formulation disappears along with its per-vertex allocations.
+// resolveTree runs the bottom-up majority resolution iteratively over
+// the rank-indexed levels. The slots of level d are already in
+// generation order and every vertex of level d has exactly n-d-2
+// children, laid out contiguously in level d+1, so parent→child indexing
+// is pure arithmetic — no keys, no hashing, no recursion. This serial
+// sweep is the differential oracle for resolveTreeParallel.
 func (n *EIGNode) resolveTree() []byte {
 	t, size := n.cfg.T, n.cfg.N
-	levelKeys := make([][]byte, t+1)
-	counts := make([]int, t+1)
-	levelKeys[0] = []byte{byte(Sender)}
-	counts[0] = 1
-	for d := 0; d < t; d++ {
-		klen := d + 1
-		perVertex := size - klen - 1
-		next := make([]byte, 0, counts[d]*perVertex*(klen+1))
-		for i := 0; i < counts[d]; i++ {
-			key := levelKeys[d][i*klen : (i+1)*klen]
-			for q := 0; q < size; q++ {
-				if q == int(n.id) || bytes.IndexByte(key, byte(q)) >= 0 {
-					continue
-				}
-				next = append(next, key...)
-				next = append(next, byte(q))
-			}
-		}
-		levelKeys[d+1] = next
-		counts[d+1] = counts[d] * perVertex
-	}
 	// Leaves: the stored value or the default.
-	klen := t + 1
-	vals := make([][]byte, counts[t])
+	leaf := &n.levels[t]
+	vals := make([][]byte, leaf.count)
 	for i := range vals {
-		if v, ok := n.tree[string(levelKeys[t][i*klen:(i+1)*klen])]; ok {
-			vals[i] = v
+		if leaf.occ[i] {
+			vals[i] = leaf.val[i]
 		} else {
 			vals[i] = DefaultValue
 		}
@@ -415,13 +781,13 @@ func (n *EIGNode) resolveTree() []byte {
 	// path (what it received directly) plus its children's resolutions.
 	votes := make([][]byte, 0, size)
 	for d := t - 1; d >= 0; d-- {
-		klen = d + 1
-		perVertex := size - klen - 1
-		up := make([][]byte, counts[d])
-		for i := 0; i < counts[d]; i++ {
+		lv := &n.levels[d]
+		perVertex := size - d - 2
+		up := make([][]byte, lv.count)
+		for i := 0; i < lv.count; i++ {
 			votes = votes[:0]
-			if stored, ok := n.tree[string(levelKeys[d][i*klen:(i+1)*klen])]; ok {
-				votes = append(votes, stored)
+			if lv.occ[i] {
+				votes = append(votes, lv.val[i])
 			} else {
 				votes = append(votes, DefaultValue)
 			}
@@ -431,6 +797,77 @@ func (n *EIGNode) resolveTree() []byte {
 		vals = up
 	}
 	return vals[0]
+}
+
+// resolveTreeParallel is resolveTree with each level's vertex range
+// chunked across workers. Within a level every vertex resolution reads
+// only the frozen level below and writes only its own up-slot, so the
+// level is embarrassingly parallel; the per-level barrier preserves the
+// bottom-up order. Vertex results are pure functions of the tree, so the
+// output is byte-identical to resolveTree at any worker count — pinned
+// by the differential test.
+func (n *EIGNode) resolveTreeParallel(workers int) []byte {
+	t, size := n.cfg.T, n.cfg.N
+	leaf := &n.levels[t]
+	vals := make([][]byte, leaf.count)
+	parallelRange(workers, leaf.count, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if leaf.occ[i] {
+				vals[i] = leaf.val[i]
+			} else {
+				vals[i] = DefaultValue
+			}
+		}
+	})
+	for d := t - 1; d >= 0; d-- {
+		lv := &n.levels[d]
+		perVertex := size - d - 2
+		up := make([][]byte, lv.count)
+		children := vals
+		parallelRange(workers, lv.count, func(lo, hi int) {
+			votes := make([][]byte, 0, size)
+			for i := lo; i < hi; i++ {
+				votes = votes[:0]
+				if lv.occ[i] {
+					votes = append(votes, lv.val[i])
+				} else {
+					votes = append(votes, DefaultValue)
+				}
+				votes = append(votes, children[i*perVertex:(i+1)*perVertex]...)
+				up[i] = majority(votes)
+			}
+		})
+		vals = up
+	}
+	return vals[0]
+}
+
+// parallelRange splits [0, count) into one contiguous chunk per worker
+// and runs fn on each concurrently (one chunk inline), returning when
+// all complete.
+func parallelRange(workers, count int, fn func(lo, hi int)) {
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		fn(0, count)
+		return
+	}
+	chunk := (count + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := chunk; lo < count; lo += chunk {
+		hi := lo + chunk
+		if hi > count {
+			hi = count
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	fn(0, chunk)
+	wg.Wait()
 }
 
 // majority returns the strict-majority value of votes, or DefaultValue if

@@ -1,0 +1,352 @@
+package ba
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Differential tests for the parallel EIG paths. The serial loops
+// (ingestSerial, resolveTree) are the oracles: at every worker count the
+// parallel paths must produce byte-identical tree state, fresh-entry
+// order, relay payloads, and decisions.
+
+// TestRankIndexMatchesEnumeration pins the slot layout: rankOf must map
+// the paths of each level onto 0..count-1 in exactly resolveTree's
+// generation order (enumPaths walks children by ascending node ID among
+// non-excluded IDs — the same order the old recursion used).
+func TestRankIndexMatchesEnumeration(t *testing.T) {
+	for _, tc := range []struct{ n, t int }{{4, 1}, {7, 2}, {10, 3}, {16, 3}} {
+		cfg := model.Config{N: tc.n, T: tc.t}
+		for _, resolver := range []model.NodeID{1, model.NodeID(tc.n - 1)} {
+			node, err := NewEIGNode(cfg, resolver)
+			if err != nil {
+				t.Fatalf("NewEIGNode(n=%d t=%d): %v", tc.n, tc.t, err)
+			}
+			for l := 1; l <= tc.t+1; l++ {
+				paths := enumPaths(cfg, resolver, l)
+				if len(paths) != node.levels[l-1].count {
+					t.Fatalf("n=%d t=%d level %d: %d slots, enumeration has %d paths",
+						tc.n, tc.t, l-1, node.levels[l-1].count, len(paths))
+				}
+				for want, p := range paths {
+					if got := node.rankOf(p); got != want {
+						t.Fatalf("n=%d t=%d resolver %v: rankOf(%v) = %d, enumeration position %d",
+							tc.n, tc.t, resolver, p, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestResolveTreeParallelMatchesSerial fills randomized partial trees
+// (the state faulty relays leave behind) and requires the chunked
+// per-level resolution to agree byte-for-byte with the serial sweep at
+// every worker count, including workers far beyond the level sizes.
+func TestResolveTreeParallelMatchesSerial(t *testing.T) {
+	values := [][]byte{[]byte("v"), []byte("w"), DefaultValue}
+	for _, tc := range []struct{ n, t int }{{4, 1}, {7, 2}, {10, 3}, {16, 3}} {
+		cfg := model.Config{N: tc.n, T: tc.t}
+		rng := rand.New(rand.NewSource(int64(17*tc.n + tc.t)))
+		for trial := 0; trial < 10; trial++ {
+			resolver := model.NodeID(1 + rng.Intn(tc.n-1))
+			node, err := NewEIGNode(cfg, resolver)
+			if err != nil {
+				t.Fatalf("NewEIGNode: %v", err)
+			}
+			for l := 1; l <= tc.t+1; l++ {
+				for _, p := range enumPaths(cfg, resolver, l) {
+					if rng.Float64() < 0.7 {
+						node.storePath(p, values[rng.Intn(len(values))])
+					}
+				}
+			}
+			want := node.resolveTree()
+			for _, workers := range []int{2, 3, 8, 64} {
+				got := node.resolveTreeParallel(workers)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("n=%d t=%d trial %d workers %d: parallel resolve = %q, serial = %q",
+						tc.n, tc.t, trial, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// synthRound builds one engine-shaped inbox for `resolver` at the given
+// round: every other eligible node reports all its length-(round-1)
+// paths, one oral message per sender, sorted by sender — exactly what
+// the lockstep engine delivers. Values are unique per path so any
+// ordering or slotting mistake changes bytes somewhere.
+func synthRound(cfg model.Config, resolver model.NodeID, round int) []model.Message {
+	bySender := make(map[model.NodeID][]OralEntry)
+	for i, p := range enumPaths(cfg, resolver, round-1) {
+		last := p[len(p)-1]
+		bySender[last] = append(bySender[last], OralEntry{
+			Path:  p,
+			Value: []byte(fmt.Sprintf("v-%d", i)),
+		})
+	}
+	var msgs []model.Message
+	for q := 0; q < cfg.N; q++ {
+		qid := model.NodeID(q)
+		entries, ok := bySender[qid]
+		if !ok {
+			continue
+		}
+		msgs = append(msgs, model.Message{
+			From:    qid,
+			To:      resolver,
+			Round:   round,
+			Kind:    model.KindOral,
+			Payload: MarshalOralEntries(entries),
+		})
+	}
+	return msgs
+}
+
+// stepOnce builds a fresh lieutenant, feeds it the inbox at the given
+// parallelism, and returns its relay broadcasts plus the resulting tree
+// levels.
+func stepOnce(t *testing.T, cfg model.Config, resolver model.NodeID, round int,
+	inbox []model.Message, workers int) ([]model.Message, []eigLevel) {
+	t.Helper()
+	SetEIGParallelism(workers)
+	node, err := NewEIGNode(cfg, resolver)
+	if err != nil {
+		t.Fatalf("NewEIGNode: %v", err)
+	}
+	out := node.Step(round, inbox)
+	// Deep-copy the returned messages: Step reuses its buffers.
+	cp := make([]model.Message, len(out))
+	for i, m := range out {
+		cp[i] = m
+		cp[i].Payload = append([]byte(nil), m.Payload...)
+	}
+	return cp, node.levels
+}
+
+// TestEIGIngestParallelMatchesSerialBytes feeds one node a synthetic
+// large round — big enough to cross eigParallelIngestBytes so the
+// sender-group fan-out actually engages — and requires the relay
+// broadcasts and the full tree state to be byte-identical to the serial
+// ingest loop at every worker count.
+func TestEIGIngestParallelMatchesSerialBytes(t *testing.T) {
+	defer SetEIGParallelism(0)
+	cfg := model.Config{N: 16, T: 4}
+	resolver := model.NodeID(15)
+	round := 5 // paths of length 4: 14·13·12 = 2184 entries, ~118 KiB
+	inbox := synthRound(cfg, resolver, round)
+	total := 0
+	for _, m := range inbox {
+		total += len(m.Payload)
+	}
+	if total < eigParallelIngestBytes {
+		t.Fatalf("synthetic round only %d bytes; below the %d parallel-ingest threshold the test is vacuous",
+			total, eigParallelIngestBytes)
+	}
+
+	wantOut, wantLevels := stepOnce(t, cfg, resolver, round, inbox, 1)
+	if len(wantOut) != cfg.N-1 {
+		t.Fatalf("serial relay produced %d messages, want %d", len(wantOut), cfg.N-1)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		gotOut, gotLevels := stepOnce(t, cfg, resolver, round, inbox, workers)
+		if len(gotOut) != len(wantOut) {
+			t.Fatalf("workers=%d: %d relay messages, serial produced %d", workers, len(gotOut), len(wantOut))
+		}
+		for i := range wantOut {
+			if gotOut[i].From != wantOut[i].From || gotOut[i].To != wantOut[i].To ||
+				gotOut[i].Kind != wantOut[i].Kind || !bytes.Equal(gotOut[i].Payload, wantOut[i].Payload) {
+				t.Fatalf("workers=%d: relay message %d differs from serial", workers, i)
+			}
+		}
+		for d := range wantLevels {
+			for i := 0; i < wantLevels[d].count; i++ {
+				if gotLevels[d].occ[i] != wantLevels[d].occ[i] ||
+					!bytes.Equal(gotLevels[d].val[i], wantLevels[d].val[i]) {
+					t.Fatalf("workers=%d: tree slot (level %d, rank %d) differs from serial", workers, d, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEIGIngestParallelInterleavedFallsBack pins the safety bail-out: an
+// inbox that interleaves senders (impossible from the engine, possible
+// from direct Step calls) must take the serial loop, not reorder
+// entries. The outcome must still match the serial loop exactly.
+func TestEIGIngestParallelInterleavedFallsBack(t *testing.T) {
+	defer SetEIGParallelism(0)
+	cfg := model.Config{N: 16, T: 4}
+	resolver := model.NodeID(15)
+	round := 5
+	inbox := synthRound(cfg, resolver, round)
+	// Split sender 1's message in two and move the second half to the
+	// end: sender 1 now reappears after its span closed.
+	first, err := unmarshalOralEntries(inbox[0].Payload)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	half := len(first) / 2
+	inbox[0].Payload = MarshalOralEntries(first[:half])
+	tail := model.Message{From: inbox[0].From, To: resolver, Round: round,
+		Kind: model.KindOral, Payload: MarshalOralEntries(first[half:])}
+	interleaved := append(append([]model.Message(nil), inbox...), tail)
+
+	node, err := NewEIGNode(cfg, resolver)
+	if err != nil {
+		t.Fatalf("NewEIGNode: %v", err)
+	}
+	if _, ok := node.ingestParallel(round, interleaved, 4); ok {
+		t.Fatal("ingestParallel accepted an interleaved inbox; must fall back to serial")
+	}
+
+	wantOut, wantLevels := stepOnce(t, cfg, resolver, round, interleaved, 1)
+	gotOut, gotLevels := stepOnce(t, cfg, resolver, round, interleaved, 4)
+	if len(gotOut) != len(wantOut) {
+		t.Fatalf("interleaved: %d relay messages, serial produced %d", len(gotOut), len(wantOut))
+	}
+	for i := range wantOut {
+		if !bytes.Equal(gotOut[i].Payload, wantOut[i].Payload) {
+			t.Fatalf("interleaved: relay message %d differs from serial", i)
+		}
+	}
+	for d := range wantLevels {
+		for i := 0; i < wantLevels[d].count; i++ {
+			if gotLevels[d].occ[i] != wantLevels[d].occ[i] ||
+				!bytes.Equal(gotLevels[d].val[i], wantLevels[d].val[i]) {
+				t.Fatalf("interleaved: tree slot (level %d, rank %d) differs", d, i)
+			}
+		}
+	}
+}
+
+// TestEIGIngestFinalMatchesIngestSerial pins the streaming final-round
+// ingest against the []OralEntry-building reference loop: identical tree
+// state, at every worker count, including under duplicate and invalid
+// entries and a malformed payload (which must store nothing, atomically).
+func TestEIGIngestFinalMatchesIngestSerial(t *testing.T) {
+	defer SetEIGParallelism(0)
+	cfg := model.Config{N: 16, T: 3}
+	resolver := model.NodeID(15)
+	round := EIGEngineRounds(cfg.T) // leaf round: paths of length t+1
+	inbox := synthRound(cfg, resolver, round)
+	// Adversarial noise: sender 1 re-reports its first entries with
+	// different values (duplicates must lose to the first report) and
+	// appends an entry with a lying last hop (must be dropped).
+	first, err := unmarshalOralEntries(inbox[0].Payload)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	dup := make([]OralEntry, 0, len(first)+2)
+	dup = append(dup, first...)
+	dup = append(dup, OralEntry{Path: first[0].Path, Value: []byte("liar")})
+	badPath := append(append([]model.NodeID(nil), first[0].Path[:len(first[0].Path)-1]...), model.NodeID(2))
+	dup = append(dup, OralEntry{Path: badPath, Value: []byte("wrong-hop")})
+	inbox[0].Payload = MarshalOralEntries(dup)
+	// And one malformed payload: truncated mid-entry. Both ingests must
+	// drop the whole message.
+	truncated := inbox[1].Payload[:len(inbox[1].Payload)-3]
+	inbox[1].Payload = truncated
+
+	SetEIGParallelism(1)
+	ref, err := NewEIGNode(cfg, resolver)
+	if err != nil {
+		t.Fatalf("NewEIGNode: %v", err)
+	}
+	ref.ingestSerial(round, inbox, nil)
+
+	for _, workers := range []int{1, 2, 4} {
+		SetEIGParallelism(workers)
+		node, err := NewEIGNode(cfg, resolver)
+		if err != nil {
+			t.Fatalf("NewEIGNode: %v", err)
+		}
+		node.ingestFinal(round, inbox)
+		for d := range ref.levels {
+			for i := 0; i < ref.levels[d].count; i++ {
+				if node.levels[d].occ[i] != ref.levels[d].occ[i] ||
+					!bytes.Equal(node.levels[d].val[i], ref.levels[d].val[i]) {
+					t.Fatalf("workers=%d: tree slot (level %d, rank %d) differs from ingestSerial",
+						workers, d, i)
+				}
+			}
+		}
+	}
+}
+
+// runEIGCluster runs a failure-free OM(t) cluster to completion and
+// returns every node's decision plus the total relayed-entry count.
+func runEIGCluster(t *testing.T, cfg model.Config, value []byte) ([][]byte, int64) {
+	t.Helper()
+	var entries atomic.Int64
+	procs := make([]sim.Process, cfg.N)
+	nodes := make([]*EIGNode, cfg.N)
+	for i := range procs {
+		opts := []EIGOption{WithEntryCounter(&entries)}
+		if model.NodeID(i) == Sender {
+			opts = append(opts, WithEIGValue(value))
+		}
+		n, err := NewEIGNode(cfg, model.NodeID(i), opts...)
+		if err != nil {
+			t.Fatalf("NewEIGNode(%d): %v", i, err)
+		}
+		nodes[i] = n
+		procs[i] = n
+	}
+	eng, err := sim.New(cfg, procs)
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	eng.Run(EIGEngineRounds(cfg.T))
+	out := make([][]byte, cfg.N)
+	for i, n := range nodes {
+		out[i] = n.Decision().Value
+	}
+	return out, entries.Load()
+}
+
+// TestEIGParallelEndToEndMatchesSerial runs a full n=16 t=3 cluster —
+// large enough that both the parallel ingest (last round ≈ 100 KiB per
+// inbox) and the parallel resolution (2184 leaves ≥ eigParallelResolveMin)
+// actually engage — and requires decisions and entry counts to match the
+// fully serial run exactly at every parallelism setting. Under -race
+// this doubles as the data-race exercise for the concurrent Step paths.
+func TestEIGParallelEndToEndMatchesSerial(t *testing.T) {
+	defer SetEIGParallelism(0)
+	cfg := model.Config{N: 16, T: 3}
+	value := []byte("parallel-differential")
+
+	SetEIGParallelism(1)
+	wantDec, wantEntries := runEIGCluster(t, cfg, value)
+	if want := int64(EIGEntries(cfg.N, cfg.T)); wantEntries != want {
+		t.Fatalf("serial run relayed %d entries, classical count is %d", wantEntries, want)
+	}
+	for i, d := range wantDec {
+		if !bytes.Equal(d, value) {
+			t.Fatalf("serial run: node %d decided %q, want %q", i, d, value)
+		}
+	}
+
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0) + 3} {
+		SetEIGParallelism(workers)
+		gotDec, gotEntries := runEIGCluster(t, cfg, value)
+		if gotEntries != wantEntries {
+			t.Fatalf("workers=%d: relayed %d entries, serial relayed %d", workers, gotEntries, wantEntries)
+		}
+		for i := range wantDec {
+			if !bytes.Equal(gotDec[i], wantDec[i]) {
+				t.Fatalf("workers=%d: node %d decided %q, serial decided %q",
+					workers, i, gotDec[i], wantDec[i])
+			}
+		}
+	}
+}

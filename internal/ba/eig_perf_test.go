@@ -49,7 +49,7 @@ func slowMajority(votes [][]byte) []byte {
 // slowResolvePath is the original recursive bottom-up resolution. Oracle
 // only.
 func slowResolvePath(n *EIGNode, path []model.NodeID) []byte {
-	stored, ok := n.tree[pathKey(path)]
+	stored, ok := n.loadPath(path)
 	if len(path) == n.cfg.T+1 {
 		if !ok {
 			return DefaultValue
@@ -157,7 +157,9 @@ func TestResolveTreeMatchesRecursiveOracle(t *testing.T) {
 			for l := 1; l <= tc.t+1; l++ {
 				for _, p := range enumPaths(cfg, resolver, l) {
 					if rng.Float64() < 0.75 {
-						node.tree[pathKey(p)] = values[rng.Intn(len(values))]
+						if !node.storePath(p, values[rng.Intn(len(values))]) {
+							t.Fatalf("storePath rejected fresh valid path %v", p)
+						}
 					}
 				}
 			}

@@ -31,8 +31,8 @@ func (d Dist) String() string {
 	if d.Count == 0 {
 		return "n/a"
 	}
-	return fmt.Sprintf("min=%s mean=%s p50=%s p99=%s",
-		trimFloat(d.Min), trimFloat(d.Mean), trimFloat(d.P50), trimFloat(d.P99))
+	return fmt.Sprintf("min=%s max=%s mean=%s p50=%s p99=%s",
+		trimFloat(d.Min), trimFloat(d.Max), trimFloat(d.Mean), trimFloat(d.P50), trimFloat(d.P99))
 }
 
 // Series accumulates float64 samples for one metric.

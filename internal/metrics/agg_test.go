@@ -17,6 +17,22 @@ func TestDistSmallSets(t *testing.T) {
 	}
 }
 
+// TestDistStringIncludesEveryField pins the table-cell rendering: every
+// summary field the Dist carries must appear, notably Max, which an
+// earlier rendering silently dropped — a sweep's worst case is exactly
+// the number a tail-latency table exists to show.
+func TestDistStringIncludesEveryField(t *testing.T) {
+	d := Dist{Count: 4, Min: 1, Max: 4, Mean: 2.5, P50: 2, P99: 4}
+	got := d.String()
+	want := "min=1 max=4 mean=2.50 p50=2 p99=4"
+	if got != want {
+		t.Errorf("Dist.String = %q, want %q", got, want)
+	}
+	if (Dist{}).String() != "n/a" {
+		t.Errorf("empty Dist.String = %q, want n/a", (Dist{}).String())
+	}
+}
+
 func TestDistSingleAndEmpty(t *testing.T) {
 	var s Series
 	if d := s.Dist(); d.Count != 0 {

@@ -151,6 +151,13 @@ func EstablishedCluster(inst Instance, establish bool) (*core.Cluster, error) {
 	if inst.Scheme != "" {
 		opts = append(opts, core.WithScheme(inst.Scheme))
 	}
+	if SharedKeyWarmup() {
+		signers, err := sharedSigners(instSchemeName(inst), inst.N, inst.KeySeed)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, core.WithPregeneratedSigners(signers))
+	}
 	c, err := core.New(inst.Config(), opts...)
 	if err != nil {
 		return nil, err
@@ -194,12 +201,21 @@ func newVectorMaterial(inst Instance) ([]*keydist.Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	var shared []sig.Signer
+	if SharedKeyWarmup() {
+		if shared, err = sharedSigners(instSchemeName(inst), inst.N, inst.KeySeed); err != nil {
+			return nil, err
+		}
+	}
 	kdNodes := make([]*keydist.Node, inst.N)
 	kdProcs := make([]sim.Process, inst.N)
 	for i := 0; i < inst.N; i++ {
+		keyOpt := keydist.WithKeyRand(sim.SeededReader(sim.KeyMaterialSeed(inst.KeySeed, i)))
+		if shared != nil {
+			keyOpt = keydist.WithSigner(shared[i])
+		}
 		node, err := keydist.NewNode(cfg, model.NodeID(i), scheme,
-			sim.SeededReader(sim.NodeSeed(inst.Seed, i)),
-			keydist.WithKeyRand(sim.SeededReader(sim.KeyMaterialSeed(inst.KeySeed, i))))
+			sim.SeededReader(sim.NodeSeed(inst.Seed, i)), keyOpt)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,151 @@
+package protocol
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sig"
+	"repro/internal/sim"
+)
+
+// Shared key-material warmup. The per-worker setup cache amortizes key
+// generation across the seeds of one cell — but every worker that visits
+// the cell still pays its own keygen, even though key material is a pure
+// function of (scheme, n, keySeed) and identical across all of them. The
+// process-global signer cache here generates each cell's signers exactly
+// once (single-flight: concurrent workers hitting a cold cell block on
+// one leader instead of generating in parallel) and hands the same
+// Signer values to every worker.
+//
+// Sharing Signer instances across workers is sound because every scheme
+// in the registry is stateless per Sign call: ed25519 and toy compute
+// over immutable key bytes, hmac builds a fresh MAC per call, and
+// rsa/ecdsa sign over stdlib private keys that are safe for concurrent
+// use. Byte-identity is preserved because the cache draws each node's
+// key from the same sim.KeyMaterialSeed stream the fresh path uses — the
+// keys are equal, so every signature and report byte is too (pinned by
+// the shared-vs-fresh differential test).
+//
+// The warmup is off by default and enabled explicitly
+// (SetSharedKeyWarmup, fdcampaign -sharedkeys): unlike the per-worker
+// cache it makes runs share heap across goroutines, which is the kind of
+// coupling a measurement tool should opt into, not inherit.
+
+// sharedKeyWarmup gates the global signer cache.
+var sharedKeyWarmup atomic.Bool
+
+// SetSharedKeyWarmup enables or disables the process-global shared
+// signer cache consulted by EstablishedCluster and the vector-material
+// builder. Reports are byte-identical either way.
+func SetSharedKeyWarmup(on bool) { sharedKeyWarmup.Store(on) }
+
+// SharedKeyWarmup reports whether the shared signer cache is enabled.
+func SharedKeyWarmup() bool { return sharedKeyWarmup.Load() }
+
+// signerCacheCap bounds the cache. A campaign grid has one entry per
+// (scheme, n, keySeed) cell — a handful — so the bound only matters to
+// pathological spec sequences; FIFO eviction keeps the common cells.
+const signerCacheCap = 32
+
+type signerCacheKey struct {
+	scheme  string
+	n       int
+	keySeed int64
+}
+
+// signerInflight is the single-flight slot for one cell being generated:
+// waiters block on done and adopt the leader's outcome.
+type signerInflight struct {
+	done    chan struct{}
+	signers []sig.Signer
+	err     error
+}
+
+var signerCache struct {
+	mu       sync.Mutex
+	entries  map[signerCacheKey][]sig.Signer
+	order    []signerCacheKey
+	inflight map[signerCacheKey]*signerInflight
+}
+
+// ResetSharedSigners drops every cached signer set. Tests use it to force
+// cold cells; production code never needs it (key material is immutable
+// per cell).
+func ResetSharedSigners() {
+	signerCache.mu.Lock()
+	defer signerCache.mu.Unlock()
+	signerCache.entries = nil
+	signerCache.order = nil
+}
+
+// instSchemeName resolves an instance's scheme for the cache key: an
+// empty scheme means the core default, ed25519.
+func instSchemeName(inst Instance) string {
+	if inst.Scheme == "" {
+		return sig.SchemeEd25519
+	}
+	return inst.Scheme
+}
+
+// sharedSigners returns the n signers of a (scheme, n, keySeed) cell,
+// generating them on the first request. Generation runs outside the
+// cache lock; concurrent requests for the same cold cell wait for the
+// one generating goroutine. Errors are returned to everyone waiting but
+// never cached — a later request retries.
+func sharedSigners(scheme string, n int, keySeed int64) ([]sig.Signer, error) {
+	key := signerCacheKey{scheme: scheme, n: n, keySeed: keySeed}
+	signerCache.mu.Lock()
+	if signers, ok := signerCache.entries[key]; ok {
+		signerCache.mu.Unlock()
+		return signers, nil
+	}
+	if fl, ok := signerCache.inflight[key]; ok {
+		signerCache.mu.Unlock()
+		<-fl.done
+		return fl.signers, fl.err
+	}
+	fl := &signerInflight{done: make(chan struct{})}
+	if signerCache.inflight == nil {
+		signerCache.inflight = make(map[signerCacheKey]*signerInflight)
+	}
+	signerCache.inflight[key] = fl
+	signerCache.mu.Unlock()
+
+	fl.signers, fl.err = generateSigners(scheme, n, keySeed)
+
+	signerCache.mu.Lock()
+	delete(signerCache.inflight, key)
+	if fl.err == nil {
+		if signerCache.entries == nil {
+			signerCache.entries = make(map[signerCacheKey][]sig.Signer, signerCacheCap)
+		}
+		if len(signerCache.entries) >= signerCacheCap {
+			oldest := signerCache.order[0]
+			signerCache.order = signerCache.order[1:]
+			delete(signerCache.entries, oldest)
+		}
+		signerCache.entries[key] = fl.signers
+		signerCache.order = append(signerCache.order, key)
+	}
+	signerCache.mu.Unlock()
+	close(fl.done)
+	return fl.signers, fl.err
+}
+
+// generateSigners derives a cell's signers from the same per-node
+// key-material streams the fresh path uses — the equality that makes the
+// shared and fresh paths byte-identical.
+func generateSigners(scheme string, n int, keySeed int64) ([]sig.Signer, error) {
+	s, err := sig.ByName(scheme)
+	if err != nil {
+		return nil, err
+	}
+	signers := make([]sig.Signer, n)
+	for i := range signers {
+		signers[i], err = s.Generate(sim.SeededReader(sim.KeyMaterialSeed(keySeed, i)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return signers, nil
+}

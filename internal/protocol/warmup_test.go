@@ -1,0 +1,81 @@
+package protocol
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/sig"
+	"repro/internal/sim"
+)
+
+// TestSharedSignersMatchFreshGeneration pins the byte-identity premise:
+// the global cache's signers derive from exactly the key-material
+// streams the fresh path uses, so their public predicates are equal.
+func TestSharedSignersMatchFreshGeneration(t *testing.T) {
+	defer ResetSharedSigners()
+	ResetSharedSigners()
+	const n, keySeed = 5, int64(77)
+	shared, err := sharedSigners(sig.SchemeEd25519, n, keySeed)
+	if err != nil {
+		t.Fatalf("sharedSigners: %v", err)
+	}
+	scheme, err := sig.ByName(sig.SchemeEd25519)
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		want, err := scheme.Generate(sim.SeededReader(sim.KeyMaterialSeed(keySeed, i)))
+		if err != nil {
+			t.Fatalf("Generate(%d): %v", i, err)
+		}
+		if !bytes.Equal(shared[i].Predicate().Bytes(), want.Predicate().Bytes()) {
+			t.Fatalf("node %d: shared signer's predicate differs from fresh generation", i)
+		}
+	}
+}
+
+// TestSharedSignersSingleFlight pins that every caller of one cell gets
+// the same signer values (sharing is the whole point) and that
+// concurrent cold-cell requests resolve to one generation.
+func TestSharedSignersSingleFlight(t *testing.T) {
+	defer ResetSharedSigners()
+	ResetSharedSigners()
+	const goroutines = 8
+	results := make([][]sig.Signer, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			s, err := sharedSigners(sig.SchemeToy, 4, 9)
+			if err != nil {
+				t.Errorf("sharedSigners: %v", err)
+				return
+			}
+			results[g] = s
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range results[0] {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d node %d: got a distinct signer instance; the cache must hand out shared values", g, i)
+			}
+		}
+	}
+}
+
+// TestSharedSignersUnknownScheme pins that errors are returned, not
+// cached: a bogus scheme fails every time, and a valid request after a
+// failure still succeeds.
+func TestSharedSignersUnknownScheme(t *testing.T) {
+	defer ResetSharedSigners()
+	ResetSharedSigners()
+	if _, err := sharedSigners("no-such-scheme", 4, 1); err == nil {
+		t.Fatal("sharedSigners accepted an unknown scheme")
+	}
+	if _, err := sharedSigners(sig.SchemeToy, 4, 1); err != nil {
+		t.Fatalf("valid request after a failed one: %v", err)
+	}
+}

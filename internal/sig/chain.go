@@ -3,6 +3,7 @@ package sig
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/model"
 )
@@ -314,6 +315,21 @@ func UnmarshalChain(data []byte) (*Chain, error) {
 	return c, nil
 }
 
+// chainScratch recycles the per-Verify working set: resolved predicates,
+// the payload arena (all layer payloads packed end to end, addressed by
+// offsets so arena growth cannot invalidate them), the evolving nested
+// encoding, the assembled checks, and the VerifyBatch scratch.
+type chainScratch struct {
+	preds  []TestPredicate
+	offs   []int
+	arena  []byte
+	ne     []byte
+	checks []Check
+	batch  batchScratch
+}
+
+var chainScratchPool = sync.Pool{New: func() any { return new(chainScratch) }}
+
 // Verify checks every signature layer of the chain against the verifier's
 // directory, attributing the outermost layer to sender (per N2) and each
 // inner layer to its embedded name. On success it returns the full signer
@@ -324,12 +340,16 @@ func UnmarshalChain(data []byte) (*Chain, error) {
 // to its stated node; Theorem 4 then guarantees all correct nodes make the
 // same assignments or some correct node discovers a failure.
 //
-// The per-layer payloads are recomputed in a single forward pass over two
-// pooled scratch buffers, and each (predicate, payload, signature) check
-// goes through the verified-signature memo, so re-verifying a chain the
-// process has already seen costs hashing instead of public-key
-// operations. On success the chain's nested-encoding cache is filled,
-// making a subsequent Extend allocation-minimal.
+// The per-layer payloads are built in a single forward pass into a pooled
+// arena and the layer checks handed to VerifyBatch, which dedups against
+// the verified-signature memo and fans residual public-key work across
+// the verification worker pool — so re-verifying a chain the process has
+// already seen costs hashing, and cold multi-layer chains verify on all
+// cores. The result (including which error, at which layer) is identical
+// to checking the layers one by one in order; verifySerial below is that
+// reference implementation, kept as the differential oracle. On success
+// the chain's nested-encoding cache is filled, making a subsequent Extend
+// allocation-minimal.
 func (c *Chain) Verify(sender model.NodeID, dir Directory) ([]model.NodeID, error) {
 	if len(c.sigs) == 0 {
 		return nil, ErrChainEmpty
@@ -339,11 +359,77 @@ func (c *Chain) Verify(sender model.NodeID, dir Directory) ([]model.NodeID, erro
 			ErrChainEncoding, len(c.names), len(c.sigs))
 	}
 	signers := c.Signers(sender)
-	// pe holds layer k's signature payload, ne the nested encoding of
-	// layers 0..k. The two evolve together: payload_{k+1} is the link tag
+	// Resolve predicates up front. A serial verifier tests layers in order
+	// and stops at the first layer with no accepted predicate, so only
+	// layers below that bound ("limit") are ever tested.
+	s := chainScratchPool.Get().(*chainScratch)
+	defer chainScratchPool.Put(s)
+	preds := s.preds[:0]
+	limit := len(c.sigs)
+	for k := 0; k < len(c.sigs); k++ {
+		pred, ok := dir.PredicateOf(signers[k])
+		if !ok {
+			limit = k
+			break
+		}
+		preds = append(preds, pred)
+	}
+	s.preds = preds
+	if limit == 0 {
+		return nil, fmt.Errorf("%w: layer %d assigned to %v", ErrChainUnknownSigner, 0, signers[0])
+	}
+	// Forward pass: pack payload_0..payload_{limit-1} into the arena
+	// (recording offsets — the arena may reallocate as it grows) while ne
+	// evolves through the nested encodings. payload_{k+1} is the link tag
 	// plus (name_k, nested_k), and nested_{k+1} is that same (name_k,
 	// nested_k) body plus sig_{k+1} — so each step encodes the body once
-	// in pe and copies it into ne instead of re-encoding.
+	// in the arena and copies it into ne instead of re-encoding.
+	const tagLen = 4 + len(tagChainLink)
+	arena := appendValuePayload(s.arena[:0], c.value)
+	offs := append(s.offs[:0], 0, len(arena))
+	ne := appendNestedRoot(s.ne[:0], c.value, c.sigs[0])
+	for k := 0; k+1 < limit; k++ {
+		start := len(arena)
+		arena = appendLinkPayload(arena, c.names[k], ne)
+		offs = append(offs, len(arena))
+		body := arena[start+tagLen:]
+		ne = append(ne[:0], body...)
+		ne = AppendBytes(ne, c.sigs[k+1])
+	}
+	s.arena, s.ne, s.offs = arena, ne, offs
+	checks := s.checks[:0]
+	for k := 0; k < limit; k++ {
+		checks = append(checks, Check{Pred: preds[k], Payload: arena[offs[k]:offs[k+1]], Sig: c.sigs[k]})
+	}
+	s.checks = checks
+	bad := verifyBatch(checks, &s.batch)
+	if bad >= 0 {
+		return nil, fmt.Errorf("%w: layer %d assigned to %v", ErrChainBadSignature, bad, signers[bad])
+	}
+	if limit < len(c.sigs) {
+		return nil, fmt.Errorf("%w: layer %d assigned to %v", ErrChainUnknownSigner, limit, signers[limit])
+	}
+	if c.nested == nil {
+		// The forward pass ended on the full chain's nested encoding;
+		// keep it so a following Extend skips computeNested.
+		c.nested = append([]byte(nil), ne...)
+	}
+	return signers, nil
+}
+
+// verifySerial is the pre-batch reference implementation of Verify: one
+// memoized test per layer, in order, stopping at the first failure. It is
+// kept verbatim as the differential oracle — Verify must return the same
+// signers and the same error (same sentinel, same layer) for every input.
+func (c *Chain) verifySerial(sender model.NodeID, dir Directory) ([]model.NodeID, error) {
+	if len(c.sigs) == 0 {
+		return nil, ErrChainEmpty
+	}
+	if len(c.names) != len(c.sigs)-1 {
+		return nil, fmt.Errorf("%w: %d names for %d signatures",
+			ErrChainEncoding, len(c.names), len(c.sigs))
+	}
+	signers := c.Signers(sender)
 	const tagLen = 4 + len(tagChainLink)
 	pe, ne := GetEncoder(), GetEncoder()
 	defer pe.Release()
@@ -375,8 +461,6 @@ func (c *Chain) Verify(sender model.NodeID, dir Directory) ([]model.NodeID, erro
 		}
 	}
 	if c.nested == nil {
-		// The forward pass ended on the full chain's nested encoding;
-		// keep it so a following Extend skips computeNested.
 		c.nested = ne.AppendTo(nil)
 	}
 	return signers, nil

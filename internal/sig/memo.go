@@ -38,7 +38,18 @@ import (
 // share a process, as the simulator's do; separate OS processes keep
 // separate memos.)
 //
-// Both tables are bounded. The memo proper is two-generation: inserts go
+// Concurrency: the memo is sharded by key digest, each shard under its
+// own mutex, so parallel verifiers (VerifyBatch's worker pool, campaign
+// workers) do not serialize on one lock. Misses are single-flighted per
+// key: the first goroutine to miss runs pred.Test and every concurrent
+// miss on the same key waits for and adopts its verdict. Adoption is
+// sound for failures too — the key pins scheme AND key bytes AND payload
+// AND signature, and every scheme's Test is a deterministic function of
+// exactly those, so two goroutines holding the same key would compute
+// the same verdict. (Failures are still not MEMOIZED; only concurrent
+// waiters observe them.)
+//
+// All tables are bounded. Each shard's memo is two-generation: inserts go
 // to the current generation, and when it fills the previous generation
 // is dropped and the current one takes its place — lookups consult both,
 // so the hot working set survives rotation. The per-instance predicate
@@ -54,25 +65,48 @@ type memoKey struct {
 	sig     [sha256.Size]byte
 }
 
-// memoGenerationLimit bounds each memo generation; the memo holds at
-// most twice this many entries. predCacheLimit bounds the predicate
-// digest cache (and therefore how many predicate instances it retains).
+// memoShardCount shards the memo by signature digest (a power of two).
+// memoGenerationLimit bounds each shard generation so the memo holds at
+// most 2*memoShardCount*memoGenerationLimit entries — the same total
+// bound the pre-sharding single-map memo had. predCacheLimit bounds the
+// predicate digest cache (and therefore how many predicate instances it
+// retains).
 const (
-	memoGenerationLimit = 1 << 14
+	memoShardCount      = 16
+	memoGenerationLimit = (1 << 14) / memoShardCount
 	predCacheLimit      = 1 << 12
 )
 
-type verifyMemo struct {
-	mu    sync.Mutex
-	cur   map[memoKey]struct{}
-	prev  map[memoKey]struct{}
-	preds map[TestPredicate][sha256.Size]byte
+// inflightTest is one in-progress pred.Test: the leader closes done after
+// publishing ok, and every waiter that found the key in the shard's
+// inflight table adopts ok instead of re-running the test.
+type inflightTest struct {
+	done chan struct{}
+	ok   bool
 }
 
-var chainVerifyMemo = &verifyMemo{
-	cur:   make(map[memoKey]struct{}),
-	preds: make(map[TestPredicate][sha256.Size]byte),
+type memoShard struct {
+	mu       sync.Mutex
+	cur      map[memoKey]struct{}
+	prev     map[memoKey]struct{}
+	inflight map[memoKey]*inflightTest
 }
+
+type verifyMemo struct {
+	shards [memoShardCount]memoShard
+	predMu sync.RWMutex
+	preds  map[TestPredicate][sha256.Size]byte
+}
+
+func newVerifyMemo() *verifyMemo {
+	m := &verifyMemo{preds: make(map[TestPredicate][sha256.Size]byte)}
+	for i := range m.shards {
+		m.shards[i].cur = make(map[memoKey]struct{})
+	}
+	return m
+}
+
+var chainVerifyMemo = newVerifyMemo()
 
 // computePredDigest derives the scheme-separated predicate digest.
 func computePredDigest(pred TestPredicate) [sha256.Size]byte {
@@ -86,47 +120,96 @@ func computePredDigest(pred TestPredicate) [sha256.Size]byte {
 }
 
 // digestOf returns the predicate's memo digest, cached per instance so
-// the steady-state cost is one map read per layer.
+// the steady-state cost is one read-locked map read per layer.
 func (m *verifyMemo) digestOf(pred TestPredicate) [sha256.Size]byte {
-	m.mu.Lock()
+	m.predMu.RLock()
 	d, ok := m.preds[pred]
-	m.mu.Unlock()
+	m.predMu.RUnlock()
 	if ok {
 		return d
 	}
 	d = computePredDigest(pred)
-	m.mu.Lock()
+	m.predMu.Lock()
 	if len(m.preds) >= predCacheLimit {
 		m.preds = make(map[TestPredicate][sha256.Size]byte, predCacheLimit)
 	}
 	m.preds[pred] = d
-	m.mu.Unlock()
+	m.predMu.Unlock()
 	return d
+}
+
+// keyOf builds the memo key for one (predicate, payload, signature)
+// triple.
+func (m *verifyMemo) keyOf(pred TestPredicate, payload, sg []byte) memoKey {
+	return memoKey{pred: m.digestOf(pred), payload: sha256.Sum256(payload), sig: sha256.Sum256(sg)}
+}
+
+// shardOf picks the shard for a key. The signature digest is already
+// uniform, so its low bits are the shard index.
+func (m *verifyMemo) shardOf(key *memoKey) *memoShard {
+	return &m.shards[key.sig[0]&(memoShardCount-1)]
+}
+
+// hit reports whether the key is already memoized, without running or
+// waiting on any test. VerifyBatch's dedup pre-pass uses it to split a
+// batch into memo hits and residual work.
+func (m *verifyMemo) hit(key memoKey) bool {
+	s := m.shardOf(&key)
+	s.mu.Lock()
+	_, ok := s.cur[key]
+	if !ok {
+		_, ok = s.prev[key]
+	}
+	s.mu.Unlock()
+	return ok
+}
+
+// testKey is testMemo for callers that already computed the key (the
+// batch path computes every key up front for its dedup pre-pass).
+func (m *verifyMemo) testKey(key memoKey, pred TestPredicate, payload, sg []byte) bool {
+	s := m.shardOf(&key)
+	s.mu.Lock()
+	if _, ok := s.cur[key]; ok {
+		s.mu.Unlock()
+		return true
+	}
+	if _, ok := s.prev[key]; ok {
+		s.mu.Unlock()
+		return true
+	}
+	if fl, ok := s.inflight[key]; ok {
+		// Another goroutine is running this exact test; adopt its verdict.
+		s.mu.Unlock()
+		<-fl.done
+		return fl.ok
+	}
+	fl := &inflightTest{done: make(chan struct{})}
+	if s.inflight == nil {
+		s.inflight = make(map[memoKey]*inflightTest)
+	}
+	s.inflight[key] = fl
+	s.mu.Unlock()
+
+	ok := pred.Test(payload, sg)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if ok {
+		if len(s.cur) >= memoGenerationLimit {
+			s.prev = s.cur
+			s.cur = make(map[memoKey]struct{}, memoGenerationLimit)
+		}
+		s.cur[key] = struct{}{}
+	}
+	s.mu.Unlock()
+	fl.ok = ok
+	close(fl.done)
+	return ok
 }
 
 // test is the memoized counterpart of pred.Test.
 func (m *verifyMemo) test(pred TestPredicate, payload, sg []byte) bool {
-	key := memoKey{pred: m.digestOf(pred), payload: sha256.Sum256(payload), sig: sha256.Sum256(sg)}
-	m.mu.Lock()
-	_, hit := m.cur[key]
-	if !hit {
-		_, hit = m.prev[key]
-	}
-	m.mu.Unlock()
-	if hit {
-		return true
-	}
-	if !pred.Test(payload, sg) {
-		return false
-	}
-	m.mu.Lock()
-	if len(m.cur) >= memoGenerationLimit {
-		m.prev = m.cur
-		m.cur = make(map[memoKey]struct{}, memoGenerationLimit)
-	}
-	m.cur[key] = struct{}{}
-	m.mu.Unlock()
-	return true
+	return m.testKey(m.keyOf(pred, payload, sg), pred, payload, sg)
 }
 
 // reset drops every memoized verification. The predicate digest cache
@@ -134,11 +217,15 @@ func (m *verifyMemo) test(pred TestPredicate, payload, sg []byte) bool {
 // them is always sound, and reset exists to measure cold VERIFICATION —
 // a long-lived process has its peers' digests cached even when every
 // chain is new. The cache stays bounded by predCacheLimit regardless.
+// In-flight tests are untouched; they complete into the fresh maps.
 func (m *verifyMemo) reset() {
-	m.mu.Lock()
-	m.cur = make(map[memoKey]struct{})
-	m.prev = nil
-	m.mu.Unlock()
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		s.cur = make(map[memoKey]struct{})
+		s.prev = nil
+		s.mu.Unlock()
+	}
 }
 
 // ResetVerifyMemo drops all memoized chain-signature verifications.
