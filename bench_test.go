@@ -317,7 +317,7 @@ func BenchmarkChainExtend(b *testing.B) {
 // EIG hot path: path-keyed tree ingestion, relaying, and the bottom-up
 // resolve.
 func BenchmarkEIG(b *testing.B) {
-	for _, bc := range []struct{ n, t int }{{10, 3}, {16, 3}, {16, 5}, {64, 2}} {
+	for _, bc := range []struct{ n, t int }{{10, 3}, {16, 3}, {16, 5}, {64, 2}, {128, 2}} {
 		b.Run(fmt.Sprintf("n=%d_t=%d", bc.n, bc.t), perfbench.EIG(bc.n, bc.t))
 	}
 }
@@ -363,4 +363,14 @@ func BenchmarkCampaignFDBASweep(b *testing.B) {
 // JSON overhead of crash tolerance when nothing crashes.
 func BenchmarkSchedChainSweep(b *testing.B) {
 	b.Run("n=8_t=2_seeds=100", perfbench.SchedChainSweep(8, 2, 100))
+}
+
+// BenchmarkServeSustained measures the agreement service under
+// sustained concurrent load: 8 client connections across 2 tenants
+// hammering one warm pool cell through an in-memory fdserve daemon.
+// Reports p50-ns/p99-ns per-request latency and inst/sec throughput
+// alongside wall time — the service-level numbers the BENCH trajectory
+// tracks from PR 10 on.
+func BenchmarkServeSustained(b *testing.B) {
+	b.Run("chain/n=8_t=2_clients=8", perfbench.ServeChainSustained(8, 2, 8, 200))
 }

@@ -30,12 +30,14 @@ type namedBench struct {
 
 // perfSuite lists the headline hot paths: chain-signature verification
 // (cold and memoized), chain extension, full EIG agreements (deep n=16
-// t=3 and the wide n=64 t=2 grid point),
+// t=3 and the wide n=64/n=128 t=2 grid points),
 // authenticated failure-discovery runs with fresh values at n=16, the
 // keydist handshake (the setup cost that Reset and the campaign cache
-// amortize, plus its per-peer round-trip unit), and 100-seed campaign
+// amortize, plus its per-peer round-trip unit), 100-seed campaign
 // sweeps — chain FD and the FDBA agreement extension — with cold
-// (per-instance) vs warm (cached) setup.
+// (per-instance) vs warm (cached) setup, and the agreement service
+// under sustained concurrent load (the serve_sustained rows, which
+// also carry p50/p99 latency and instances/sec).
 func perfSuite() []namedBench {
 	return []namedBench{
 		{"chain_verify_cold/hops=16", perfbench.ChainVerify(16, true)},
@@ -43,6 +45,7 @@ func perfSuite() []namedBench {
 		{"chain_extend/hops=16", perfbench.ChainExtend(16)},
 		{"eig/n=16_t=3", perfbench.EIG(16, 3)},
 		{"eig/n=64_t=2", perfbench.EIG(64, 2)},
+		{"eig/n=128_t=2", perfbench.EIG(128, 2)},
 		{"fd_chain_run/n=16_t=5", perfbench.FDRun(16, 5)},
 		{"keydist_handshake/n=16_t=5", perfbench.KeydistHandshake(16, 5)},
 		{"keydist_roundtrip/ed25519", perfbench.HandshakeRoundTrip(sig.SchemeEd25519)},
@@ -51,6 +54,8 @@ func perfSuite() []namedBench {
 		{"campaign_fdba_sweep_cold/n=8_t=2_seeds=100", perfbench.CampaignFDBASweep(8, 2, 100, false)},
 		{"campaign_fdba_sweep_warm/n=8_t=2_seeds=100", perfbench.CampaignFDBASweep(8, 2, 100, true)},
 		{"sched_chain_sweep/n=8_t=2_seeds=100", perfbench.SchedChainSweep(8, 2, 100)},
+		{"serve_sustained/chain/n=8_t=2_clients=8", perfbench.ServeChainSustained(8, 2, 8, 200)},
+		{"serve_sustained/fdba/n=8_t=2_clients=8", perfbench.ServeFDBASustained(8, 2, 8, 100)},
 	}
 }
 
@@ -90,13 +95,20 @@ func runPerfSuite(path, label string) error {
 	for _, bm := range perfSuite() {
 		fmt.Fprintf(os.Stderr, "perf: %s...\n", bm.name)
 		res := testing.Benchmark(bm.fn)
-		rep.Benchmarks = append(rep.Benchmarks, report.PerfResult{
+		pr := report.PerfResult{
 			Name:        bm.name,
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
 			Iterations:  res.N,
-		})
+		}
+		// Sustained-load benchmarks publish service-level metrics via
+		// ReportMetric; copy them into the suite's typed columns so the
+		// diff gate can track latency and throughput, not just ns/op.
+		pr.P50Ns = res.Extra["p50-ns"]
+		pr.P99Ns = res.Extra["p99-ns"]
+		pr.OpsPerSec = res.Extra["inst/sec"]
+		rep.Benchmarks = append(rep.Benchmarks, pr)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/service"
+)
+
+type clientFlags struct {
+	connect  string
+	tenant   string
+	protocol string
+	n, t     int
+	scheme   string
+	value    string
+	seeds    int
+	seedBase int64
+	conns    int
+	stats    bool
+	strict   bool
+}
+
+// driveSummary is the client mode's machine-readable output.
+type driveSummary struct {
+	Tenant        string       `json:"tenant"`
+	Requested     int          `json:"requested"`
+	Served        int          `json:"served"`
+	Conformant    int          `json:"conformant"`
+	Errors        int          `json:"errors"`
+	BusyRetries   int          `json:"busy_retries"`
+	Rejected      int          `json:"rejected"`
+	LatencyMS     metrics.Dist `json:"latency_ms"`
+	PoolHits      int          `json:"pool_hits"`
+	DurationMS    float64      `json:"duration_ms"`
+	InstPerSecond float64      `json:"inst_per_second"`
+}
+
+// busyRetryCap bounds how often one request is resubmitted after busy
+// rejections before the client gives up on it.
+const busyRetryCap = 50
+
+func clientMode(f clientFlags) int {
+	if f.conns < 1 {
+		f.conns = 1
+	}
+	var (
+		mu      sync.Mutex
+		sum     = driveSummary{Tenant: f.tenant, Requested: f.seeds}
+		latency metrics.Series
+		wg      sync.WaitGroup
+		fail    error
+	)
+	start := time.Now()
+	for c := 0; c < f.conns; c++ {
+		cl, err := service.Dial(f.connect, f.tenant)
+		if err != nil {
+			fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, cl *service.Client) {
+			defer wg.Done()
+			defer cl.Close()
+			// Connection c serves seeds c, c+conns, c+2·conns, ...
+			for s := c; s < f.seeds; s += f.conns {
+				req := service.Request{
+					Index: s, Protocol: f.protocol, N: f.n, T: f.t, Scheme: f.scheme,
+					Seed: f.seedBase + int64(s), KeySeed: f.seedBase,
+				}
+				if f.value != "" {
+					req.Value = []byte(f.value)
+				}
+				reply, retries, err := doWithRetry(cl, req)
+				mu.Lock()
+				sum.BusyRetries += retries
+				if err != nil {
+					var rej *service.RejectError
+					if errors.As(err, &rej) {
+						sum.Rejected++
+						fmt.Fprintf(os.Stderr, "fdserve: seed %d rejected: %v\n", req.Seed, rej)
+					} else if fail == nil {
+						fail = err
+					}
+					mu.Unlock()
+					return
+				}
+				sum.Served++
+				if reply.Result.Err != "" {
+					sum.Errors++
+				} else if reply.Result.Conformance.Conformant() {
+					sum.Conformant++
+				}
+				if reply.Source == "pool-hit" {
+					sum.PoolHits++
+				}
+				latency.Add(float64(reply.QueueNS+reply.RunNS) / 1e6)
+				mu.Unlock()
+			}
+		}(c, cl)
+	}
+	wg.Wait()
+	if fail != nil {
+		fatal(fail)
+	}
+	elapsed := time.Since(start)
+	sum.LatencyMS = latency.Dist()
+	sum.DurationMS = float64(elapsed.Nanoseconds()) / 1e6
+	if elapsed > 0 && sum.Served > 0 {
+		sum.InstPerSecond = float64(sum.Served) / elapsed.Seconds()
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if f.seeds > 0 {
+		enc.Encode(sum)
+	}
+
+	if f.stats {
+		cl, err := service.Dial(f.connect, f.tenant)
+		if err != nil {
+			fatal(err)
+		}
+		snap, err := cl.Stats()
+		cl.Close()
+		if err != nil {
+			fatal(err)
+		}
+		enc.Encode(snap)
+	}
+
+	if f.strict && (sum.Errors > 0 || sum.Rejected > 0 || sum.Conformant != sum.Served) {
+		fmt.Fprintf(os.Stderr, "fdserve: strict: %d/%d conformant, %d errors, %d rejected\n",
+			sum.Conformant, sum.Served, sum.Errors, sum.Rejected)
+		return 2
+	}
+	return 0
+}
+
+// doWithRetry submits one request, resubmitting after busy rejections
+// (sleeping the server's hint) up to busyRetryCap times. Draining and
+// bad-request rejections are terminal — retrying cannot help.
+func doWithRetry(cl *service.Client, req service.Request) (*service.Reply, int, error) {
+	retries := 0
+	for {
+		reply, err := cl.Do(req)
+		if err == nil {
+			return reply, retries, nil
+		}
+		var rej *service.RejectError
+		if !errors.As(err, &rej) || rej.Code != service.RejectBusy || retries >= busyRetryCap {
+			return nil, retries, err
+		}
+		retries++
+		wait := rej.RetryAfter
+		if wait <= 0 {
+			wait = 10 * time.Millisecond
+		}
+		time.Sleep(wait)
+	}
+}

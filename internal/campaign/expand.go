@@ -53,6 +53,12 @@ type Instance struct {
 	// economics — and the per-worker setup cache can reuse one established
 	// cluster for the whole sweep without changing a single report byte.
 	KeySeed int64 `json:"key_seed"`
+	// Value, when non-empty, overrides the protocol's canonical sender
+	// proposal. Expansion never sets it — sweeps measure the canonical
+	// workload — but the agreement service (internal/service) threads
+	// caller-supplied values through here, and an empty Value keeps every
+	// report byte-identical to the pre-field era.
+	Value []byte `json:"value,omitempty"`
 }
 
 // GroupKey identifies the instance's aggregation group: everything but

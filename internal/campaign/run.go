@@ -76,6 +76,16 @@ func countSigned(s metrics.Snapshot) int {
 // cached-vs-fresh differential test pins that equivalence.
 func RunInstance(inst Instance) Result { return runInstance(inst, nil) }
 
+// RunInstanceWith executes one instance like RunInstance but consults
+// the caller-owned setup cache (when the driver declares cacheable
+// setup), so long-lived callers — the agreement service's warm-cluster
+// pool — reuse established clusters across requests while producing the
+// same Result bytes RunInstance would. The cache is single-owner: the
+// caller must serialize calls sharing one cache.
+func RunInstanceWith(inst Instance, cache *protocol.SetupCache) Result {
+	return runInstance(inst, cache)
+}
+
 // runInstance dispatches one instance through the protocol driver
 // registry, reusing cached setup when cache is non-nil and the driver
 // declares cacheable setup. There is no per-protocol branching here:
@@ -110,6 +120,7 @@ func runInto(inst Instance, cache *protocol.SetupCache, res *Result) error {
 		N:        inst.N,
 		T:        inst.T,
 		Scheme:   inst.Scheme,
+		Value:    inst.Value,
 		Strategy: strat,
 		Net:      net,
 		Seed:     inst.Seed,

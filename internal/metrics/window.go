@@ -1,0 +1,54 @@
+package metrics
+
+// Window is a bounded sliding sample window: it keeps the most recent
+// capacity samples in a ring and summarizes them with the same
+// nearest-rank Dist the campaign aggregates use. Series grows without
+// bound — fine for a sweep that ends, wrong for a long-lived daemon —
+// so the agreement service records its end-to-end latencies and queue
+// waits here: memory stays O(capacity) over any request volume, and the
+// Dist reflects recent behavior rather than averaging the warmup tail
+// forever. Like Series, a Window is not safe for concurrent use; owners
+// guard it with their own lock.
+type Window struct {
+	vals  []float64
+	next  int
+	full  bool
+	total int64
+}
+
+// NewWindow returns an empty window bounded to capacity samples
+// (minimum 1).
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Window{vals: make([]float64, 0, capacity)}
+}
+
+// Add appends one sample, evicting the oldest when the window is full.
+func (w *Window) Add(v float64) {
+	w.total++
+	if !w.full {
+		w.vals = append(w.vals, v)
+		if len(w.vals) == cap(w.vals) {
+			w.full = true
+		}
+		return
+	}
+	w.vals[w.next] = v
+	w.next = (w.next + 1) % len(w.vals)
+}
+
+// Count returns the number of samples currently held (≤ capacity).
+func (w *Window) Count() int { return len(w.vals) }
+
+// Total returns the lifetime number of samples added, including evicted
+// ones.
+func (w *Window) Total() int64 { return w.total }
+
+// Dist summarizes the window's current contents (a zero Dist when
+// empty). The ring order is irrelevant: Dist sorts a copy.
+func (w *Window) Dist() Dist {
+	s := Series{vals: w.vals}
+	return s.Dist()
+}

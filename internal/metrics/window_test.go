@@ -1,0 +1,47 @@
+package metrics
+
+import "testing"
+
+func TestWindowUnfilled(t *testing.T) {
+	w := NewWindow(8)
+	if d := w.Dist(); d.Count != 0 {
+		t.Fatalf("empty window dist = %+v", d)
+	}
+	for _, v := range []float64{3, 1, 2} {
+		w.Add(v)
+	}
+	if w.Count() != 3 || w.Total() != 3 {
+		t.Fatalf("count = %d total = %d, want 3/3", w.Count(), w.Total())
+	}
+	d := w.Dist()
+	if d.Count != 3 || d.Min != 1 || d.Max != 3 || d.Mean != 2 || d.P50 != 2 {
+		t.Fatalf("dist = %+v", d)
+	}
+}
+
+func TestWindowEvictsOldest(t *testing.T) {
+	w := NewWindow(4)
+	for v := 1; v <= 10; v++ {
+		w.Add(float64(v))
+	}
+	if w.Count() != 4 || w.Total() != 10 {
+		t.Fatalf("count = %d total = %d, want 4/10", w.Count(), w.Total())
+	}
+	// Only the most recent capacity samples remain: 7..10.
+	d := w.Dist()
+	if d.Min != 7 || d.Max != 10 || d.Count != 4 {
+		t.Fatalf("dist after eviction = %+v, want min=7 max=10", d)
+	}
+}
+
+func TestWindowMinimumCapacity(t *testing.T) {
+	w := NewWindow(0)
+	w.Add(1)
+	w.Add(2)
+	if w.Count() != 1 {
+		t.Fatalf("count = %d, want 1", w.Count())
+	}
+	if d := w.Dist(); d.Min != 2 || d.Max != 2 {
+		t.Fatalf("dist = %+v, want only the latest sample", d)
+	}
+}

@@ -1,0 +1,115 @@
+package perfbench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/sig"
+	"repro/internal/transport"
+)
+
+// ServeSustained measures the agreement service under sustained
+// concurrent load: an in-memory fdserve daemon, `clients` connections
+// split across two tenants, each submitting `perClient` requests
+// back-to-back against one warm (protocol, scheme, n, t, keySeed) cell.
+// Beyond the usual ns/op it reports the service-level numbers the
+// BENCH trajectory tracks from PR 10 on — per-request p50/p99 latency
+// and aggregate throughput — via ReportMetric, which fdbench copies
+// into the suite's p50_ns/p99_ns/ops_per_sec columns. Every reply is
+// verified conformant, so the benchmark cannot keep timing a daemon
+// that serves garbage quickly.
+func ServeSustained(protocol string, n, t, clients, perClient int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var lastP50, lastP99 float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			srv := service.NewServer(service.Config{Shards: 4})
+			acc := transport.NewPipeAcceptor()
+			go srv.Serve(acc)
+
+			var latencies metrics.Series
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			errs := make(chan error, clients)
+			for c := 0; c < clients; c++ {
+				conn, err := acc.Dial()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl, err := service.NewClient(conn, fmt.Sprintf("tenant-%d", c%2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				wg.Add(1)
+				go func(c int, cl *service.Client) {
+					defer wg.Done()
+					defer cl.Close()
+					<-start
+					for r := 0; r < perClient; r++ {
+						reply, err := cl.Do(service.Request{
+							Protocol: protocol, N: n, T: t, Scheme: sig.SchemeEd25519,
+							Seed: int64(c*perClient + r + 1), KeySeed: 1,
+						})
+						if err != nil {
+							errs <- err
+							return
+						}
+						if reply.Result.Err != "" || !reply.Result.Conformance.Conformant() {
+							errs <- fmt.Errorf("non-conformant reply: %+v", reply.Result)
+							return
+						}
+						mu.Lock()
+						latencies.Add(float64(reply.QueueNS + reply.RunNS))
+						mu.Unlock()
+					}
+				}(c, cl)
+			}
+
+			b.StartTimer()
+			close(start)
+			wg.Wait()
+			b.StopTimer()
+
+			srv.Drain()
+			acc.Close()
+			select {
+			case err := <-errs:
+				b.Fatal(err)
+			default:
+			}
+			dist := latencies.Dist()
+			if dist.Count != clients*perClient {
+				b.Fatalf("recorded %d latencies, want %d", dist.Count, clients*perClient)
+			}
+			// Iterations run identical workloads; the last one's
+			// percentiles stand for the run.
+			lastP50, lastP99 = dist.P50, dist.P99
+			b.StartTimer()
+		}
+		b.StopTimer()
+		b.ReportMetric(lastP50, "p50-ns")
+		b.ReportMetric(lastP99, "p99-ns")
+		// Elapsed covers only the timed serve windows across all
+		// iterations.
+		b.ReportMetric(float64(b.N*clients*perClient)/b.Elapsed().Seconds(), "inst/sec")
+	}
+}
+
+// ServeChainSustained is ServeSustained over the chain protocol — the
+// service-level row name the BENCH trajectory carries from PR 10 on.
+func ServeChainSustained(n, t, clients, perClient int) func(b *testing.B) {
+	return ServeSustained(campaign.ProtoChain, n, t, clients, perClient)
+}
+
+// ServeFDBASustained is ServeSustained over the FDBA agreement
+// extension: same warm cell shape, heavier 2t+6-round runs.
+func ServeFDBASustained(n, t, clients, perClient int) func(b *testing.B) {
+	return ServeSustained(campaign.ProtoFDBA, n, t, clients, perClient)
+}

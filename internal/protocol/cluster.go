@@ -48,6 +48,10 @@ func (d *clusterDriver) Prepare(inst Instance, cache *SetupCache) (Setup, error)
 // Run implements Driver.
 func (d *clusterDriver) Run(inst Instance, setup Setup) (Outcome, error) {
 	c := setup.(*core.Cluster)
+	value := d.value
+	if len(inst.Value) > 0 {
+		value = inst.Value
+	}
 	corrupt := inst.Strategy.CorruptSet(inst.N, inst.Seed)
 	runOpts := []core.RunOption{core.WithProtocol(d.proto)}
 	for _, id := range corrupt.Sorted() {
@@ -70,7 +74,7 @@ func (d *clusterDriver) Run(inst Instance, setup Setup) (Outcome, error) {
 			runOpts = append(runOpts, core.WithNetwork(netcond.NewModel(*net, inst.N, inst.Seed)))
 		}
 	}
-	rep, err := c.RunFailureDiscovery(d.value, runOpts...)
+	rep, err := c.RunFailureDiscovery(value, runOpts...)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -80,7 +84,7 @@ func (d *clusterDriver) Run(inst Instance, setup Setup) (Outcome, error) {
 		Snapshot:   rep.Snapshot,
 		Agreed:     outcomesAgree(rep.Outcomes),
 		Discovered: len(rep.Discoveries) > 0,
-		SubRuns:    []SubRun{{Sender: fd.Sender, Initial: d.value, Outcomes: rep.Outcomes}},
+		SubRuns:    []SubRun{{Sender: fd.Sender, Initial: value, Outcomes: rep.Outcomes}},
 	}, nil
 }
 

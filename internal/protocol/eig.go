@@ -53,6 +53,10 @@ func equivocateOral(faceOne model.NodeSet) adversary.Filter {
 
 func (eigDriver) Run(inst Instance, _ Setup) (Outcome, error) {
 	cfg := inst.Config()
+	value := senderValue
+	if len(inst.Value) > 0 {
+		value = inst.Value
+	}
 	strat := inst.Strategy
 	corruptSet := strat.CorruptSet(inst.N, inst.Seed)
 	churn := churnByNode(inst, corruptSet)
@@ -67,7 +71,7 @@ func (eigDriver) Run(inst Instance, _ Setup) (Outcome, error) {
 		}
 		var opts []ba.EIGOption
 		if id == ba.Sender {
-			opts = append(opts, ba.WithEIGValue(senderValue))
+			opts = append(opts, ba.WithEIGValue(value))
 		}
 		node, err := ba.NewEIGNode(cfg, id, opts...)
 		if err != nil {
@@ -150,7 +154,7 @@ func (eigDriver) Run(inst Instance, _ Setup) (Outcome, error) {
 		}
 	}
 	out.Agreed = agreed && haveFirst
-	out.SubRuns = []SubRun{{Sender: ba.Sender, Initial: senderValue, Outcomes: outcomes}}
+	out.SubRuns = []SubRun{{Sender: ba.Sender, Initial: value, Outcomes: outcomes}}
 	return out, nil
 }
 

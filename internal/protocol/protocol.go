@@ -39,6 +39,13 @@ type Instance struct {
 	// Scheme is the signature-scheme registry name ("" for drivers whose
 	// Capabilities report UsesSignatures == false).
 	Scheme string
+	// Value, when non-empty, overrides the driver's canonical sender
+	// proposal — the agreement service threads caller-supplied values
+	// through here. Empty keeps each driver's built-in proposal, so every
+	// pre-existing campaign expansion is byte-identical. Custom values
+	// compose with the honest path; the bespoke equivocating senders keep
+	// their canonical two faces.
+	Value []byte
 	// Strategy is the resolved composable adversary (the zero value runs
 	// every node honestly).
 	Strategy adversary.Strategy

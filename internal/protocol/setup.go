@@ -112,6 +112,45 @@ func (sc *SetupCache) Len() int { return len(sc.entries) }
 // of Get calls; a warm sweep shows hits ≈ instances − cells.
 func (sc *SetupCache) Stats() (hits, misses int) { return sc.hits, sc.misses }
 
+// Rekey starts a fresh key epoch for every cached setup: each cluster
+// cell is core.Rekey'd onto its own cell's KeySeed — regenerating
+// identical deterministic key material, so runs served before and after
+// a rekey stay byte-identical — and re-established when its cell was
+// established. Non-cluster setups (vector material embeds key material
+// immutably) are dropped and rebuilt on next use. The agreement
+// service's warm-cluster pool calls this on its rekey interval: the
+// in-memory secrets are discarded and rederived rather than living for
+// the daemon's whole lifetime. Returns the number of clusters rekeyed.
+func (sc *SetupCache) Rekey() (int, error) {
+	order := append([]SetupKey(nil), sc.order...)
+	keep := sc.order[:0]
+	rekeyed := 0
+	var firstErr error
+	for _, k := range order {
+		c, ok := sc.entries[k].(*core.Cluster)
+		if !ok {
+			delete(sc.entries, k)
+			continue
+		}
+		c.Rekey(k.KeySeed)
+		if k.Established {
+			if _, err := c.EstablishAuthentication(); err != nil {
+				// A cluster that failed to re-establish must not be handed
+				// out; drop the cell so the next run rebuilds from scratch.
+				delete(sc.entries, k)
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+		}
+		rekeyed++
+		keep = append(keep, k)
+	}
+	sc.order = keep
+	return rekeyed, firstErr
+}
+
 // ClusterSetup returns the instance's cluster, established when
 // establish is set. With a cache, the (scheme, n, t, keySeed) cell is
 // reused when warm — built and cached on a miss — and the cluster is

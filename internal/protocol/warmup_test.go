@@ -66,6 +66,103 @@ func TestSharedSignersSingleFlight(t *testing.T) {
 	}
 }
 
+// TestSharedSignersConcurrentMixedCells hammers several distinct
+// (scheme, n, keySeed) cells from many goroutines at once — the
+// agreement service's access pattern, where executor shards serve mixed
+// tenant workloads against the same global cache. Every returned set
+// must match fresh generation for its own cell: a single-flight slot
+// must never leak one cell's signers to a neighbor's waiters.
+func TestSharedSignersConcurrentMixedCells(t *testing.T) {
+	defer ResetSharedSigners()
+	ResetSharedSigners()
+	type cell struct {
+		scheme  string
+		n       int
+		keySeed int64
+	}
+	cells := []cell{
+		{sig.SchemeToy, 4, 1}, {sig.SchemeToy, 4, 2}, {sig.SchemeToy, 7, 1},
+		{sig.SchemeToy, 7, 3}, {sig.SchemeEd25519, 4, 1}, {sig.SchemeEd25519, 5, 2},
+	}
+	const rounds = 16
+	var wg sync.WaitGroup
+	for _, c := range cells {
+		for r := 0; r < rounds; r++ {
+			wg.Add(1)
+			go func(c cell) {
+				defer wg.Done()
+				got, err := sharedSigners(c.scheme, c.n, c.keySeed)
+				if err != nil {
+					t.Errorf("cell %+v: %v", c, err)
+					return
+				}
+				if len(got) != c.n {
+					t.Errorf("cell %+v: %d signers", c, len(got))
+					return
+				}
+				scheme, err := sig.ByName(c.scheme)
+				if err != nil {
+					t.Errorf("ByName(%s): %v", c.scheme, err)
+					return
+				}
+				for i := range got {
+					want, err := scheme.Generate(sim.SeededReader(sim.KeyMaterialSeed(c.keySeed, i)))
+					if err != nil {
+						t.Errorf("cell %+v node %d: %v", c, i, err)
+						return
+					}
+					if !bytes.Equal(got[i].Predicate().Bytes(), want.Predicate().Bytes()) {
+						t.Errorf("cell %+v node %d: cross-cell signer leak", c, i)
+						return
+					}
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+}
+
+// TestSharedSignersEvictionRaceProbe drives more cells than
+// signerCacheCap through the cache concurrently, so FIFO eviction runs
+// while other goroutines generate, hit, and re-miss evicted cells. The
+// assertions are that every returned set is the right size for its
+// cell and the cache never exceeds its bound; the race detector checks
+// the rest (this is the -race probe the CI race step runs).
+func TestSharedSignersEvictionRaceProbe(t *testing.T) {
+	defer ResetSharedSigners()
+	ResetSharedSigners()
+	const cells = signerCacheCap + 8
+	const rounds = 4
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for c := 0; c < cells; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				n := 3 + c%3
+				got, err := sharedSigners(sig.SchemeToy, n, int64(c))
+				if err != nil {
+					t.Errorf("cell %d: %v", c, err)
+					return
+				}
+				if len(got) != n {
+					t.Errorf("cell %d: %d signers, want %d", c, len(got), n)
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+	signerCache.mu.Lock()
+	entries, order := len(signerCache.entries), len(signerCache.order)
+	signerCache.mu.Unlock()
+	if entries > signerCacheCap || order > signerCacheCap {
+		t.Fatalf("cache exceeded its bound: %d entries, %d order", entries, order)
+	}
+	if entries != order {
+		t.Fatalf("entries (%d) and FIFO order (%d) diverged", entries, order)
+	}
+}
+
 // TestSharedSignersUnknownScheme pins that errors are returned, not
 // cached: a bogus scheme fails every time, and a valid request after a
 // failure still succeeds.

@@ -77,6 +77,21 @@ func (d *Diff) compare(cell, metric string, old, new float64) {
 	})
 }
 
+// compareRate is compare for larger-is-better metrics (throughput): an
+// entry regresses when the value FELL past the threshold.
+func (d *Diff) compareRate(cell, metric string, old, new float64) {
+	d.Compared++
+	if old == new {
+		return
+	}
+	delta := pctDelta(old, new)
+	d.Entries = append(d.Entries, Entry{
+		Cell: cell, Metric: metric, Old: old, New: new,
+		DeltaPct:  delta,
+		Regressed: delta < -d.Threshold,
+	})
+}
+
 // note appends a structural finding.
 func (d *Diff) note(cell, metric, note string, regressed bool) {
 	d.Entries = append(d.Entries, Entry{Cell: cell, Metric: metric, Note: note, Regressed: regressed})
@@ -158,8 +173,11 @@ func newViolations(old, new []string) []string {
 }
 
 // DiffPerf compares two fdbench-perf/v1 suites benchmark by benchmark:
-// ns/op and allocs/op against the percent threshold. A benchmark that
-// disappeared regresses (the gate lost coverage); a new one is noted.
+// ns/op and allocs/op against the percent threshold, plus — for
+// sustained-throughput rows that carry them — p50/p99 latency
+// (smaller-is-better) and ops/sec (larger-is-better). A benchmark that
+// disappeared regresses (the gate lost coverage), and so does a row
+// that silently lost its service-level metrics; a new one is noted.
 func DiffPerf(old, new *PerfReport, thresholdPct float64) *Diff {
 	d := &Diff{Schema: PerfSchema, Threshold: thresholdPct,
 		OldLabel: labelOf(old), NewLabel: labelOf(new)}
@@ -177,6 +195,18 @@ func DiffPerf(old, new *PerfReport, thresholdPct float64) *Diff {
 		}
 		d.compare(ob.Name, "ns_per_op", ob.NsPerOp, nb.NsPerOp)
 		d.compare(ob.Name, "allocs_per_op", float64(ob.AllocsPerOp), float64(nb.AllocsPerOp))
+		if ob.P50Ns > 0 && nb.P50Ns > 0 {
+			d.compare(ob.Name, "p50_ns", ob.P50Ns, nb.P50Ns)
+		}
+		if ob.P99Ns > 0 && nb.P99Ns > 0 {
+			d.compare(ob.Name, "p99_ns", ob.P99Ns, nb.P99Ns)
+		}
+		if ob.OpsPerSec > 0 && nb.OpsPerSec > 0 {
+			d.compareRate(ob.Name, "ops_per_sec", ob.OpsPerSec, nb.OpsPerSec)
+		}
+		if ob.OpsPerSec > 0 && nb.OpsPerSec == 0 {
+			d.note(ob.Name, "ops_per_sec", "service-level metrics missing in new suite", true)
+		}
 	}
 	for _, nb := range new.Benchmarks {
 		if !seen[nb.Name] {

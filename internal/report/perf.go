@@ -17,13 +17,23 @@ import (
 // `fdbench -perf`, one BENCH_<pr>.json per PR at the repo root).
 const PerfSchema = "fdbench-perf/v1"
 
-// PerfResult is one benchmark's headline numbers.
+// PerfResult is one benchmark's headline numbers. The service-level
+// fields (P50Ns, P99Ns, OpsPerSec) are populated only by sustained-
+// throughput rows — fdbench copies them out of the benchmark's
+// ReportMetric extras — and stay zero/omitted for ordinary
+// one-op-at-a-time rows.
 type PerfResult struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
+	// P50Ns and P99Ns are per-request latency percentiles under
+	// sustained concurrent load (smaller is better); OpsPerSec is the
+	// corresponding throughput (larger is better).
+	P50Ns     float64 `json:"p50_ns,omitempty"`
+	P99Ns     float64 `json:"p99_ns,omitempty"`
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
 }
 
 // PerfReport is a full fdbench-perf/v1 document. The metadata block

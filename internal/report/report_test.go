@@ -140,6 +140,47 @@ func TestDiffPerfMissingBenchmarkRegresses(t *testing.T) {
 	}
 }
 
+// servicePerfFixture is a suite with one sustained-throughput row
+// carrying service-level metrics.
+func servicePerfFixture(p50, p99, ops float64) *PerfReport {
+	return &PerfReport{
+		Schema: PerfSchema, GoVersion: "go1.24", Label: "BENCH_test",
+		Benchmarks: []PerfResult{
+			{Name: "serve_sustained/chain/n=8_t=2_clients=8", NsPerOp: 1000, AllocsPerOp: 10,
+				Iterations: 100, P50Ns: p50, P99Ns: p99, OpsPerSec: ops},
+		},
+	}
+}
+
+func TestDiffPerfServiceMetrics(t *testing.T) {
+	old := servicePerfFixture(1e6, 5e6, 400)
+	// Latency up 50%, throughput down 25%: both must regress at 10%.
+	worse := servicePerfFixture(1.5e6, 7.5e6, 300)
+	d := DiffPerf(old, worse, 10)
+	regressed := map[string]bool{}
+	for _, e := range d.Regressions() {
+		regressed[e.Metric] = true
+	}
+	if !regressed["p50_ns"] || !regressed["p99_ns"] || !regressed["ops_per_sec"] {
+		t.Errorf("service regressions not gated: %+v", d.Regressions())
+	}
+
+	// Faster and higher-throughput must pass, and throughput direction
+	// must not be inverted (more ops/sec is better).
+	better := servicePerfFixture(0.5e6, 2e6, 800)
+	if d := DiffPerf(old, better, 10); len(d.Regressions()) != 0 {
+		t.Errorf("service improvement flagged as regression: %+v", d.Regressions())
+	}
+
+	// A row that silently lost its service metrics regresses: the gate
+	// would otherwise stop covering the daemon without anyone noticing.
+	lost := servicePerfFixture(1e6, 5e6, 400)
+	lost.Benchmarks[0].P50Ns, lost.Benchmarks[0].P99Ns, lost.Benchmarks[0].OpsPerSec = 0, 0, 0
+	if d := DiffPerf(old, lost, 10); len(d.Regressions()) == 0 {
+		t.Error("vanished service metrics passed the gate")
+	}
+}
+
 func writeJSON(t *testing.T, dir, name string, v any) string {
 	t.Helper()
 	data, err := json.MarshalIndent(v, "", "  ")

@@ -1,0 +1,157 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+// The warm-cluster pool. A long-lived daemon serving a sustained
+// request stream must not pay keygen plus the 3n(n−1)-message handshake
+// per request — the paper's amortization argument, made a service
+// property. The pool keeps idle *protocol.SetupCache values per
+// (protocol, scheme, n, t, keySeed) cell: an executor checks one out,
+// runs the request through the ordinary driver Prepare path (a warm
+// cache Resets its established cluster onto the request's run seed, a
+// cold one builds and caches it), and checks it back in. Because key
+// material is a pure function of (Scheme, N, KeySeed), a served verdict
+// is byte-identical to a one-shot campaign.Run of the same instance —
+// the differential test pins that.
+//
+// Checked-out caches are exclusively owned (SetupCache is single-owner
+// by contract); the pool's lock covers only the idle lists, so
+// executors never serialize behind each other's runs. Every rekeyEvery
+// check-ins of a cell the pool starts a fresh key epoch for that cell
+// (SetupCache.Rekey): long-lived in-memory key material is discarded
+// and rederived from the same seeds, so hygiene costs no determinism.
+
+// cellKey identifies one warm-pool cell. Protocol rides along even
+// though cluster cells are shareable across the cluster-driver family:
+// per-protocol cells keep checkout fair under mixed workloads and make
+// the /debug/serve cell listing legible.
+type cellKey struct {
+	Protocol string
+	Scheme   string
+	N, T     int
+	KeySeed  int64
+}
+
+// cell is one key's pooled state.
+type cell struct {
+	idle []*protocol.SetupCache
+	runs int64 // lifetime check-ins, drives the rekey interval
+}
+
+// pool is the concurrency-safe warm-setup store.
+type pool struct {
+	mu         sync.Mutex
+	idlePerKey int
+	rekeyEvery int64
+	cells      map[cellKey]*cell
+
+	hits      int64
+	misses    int64
+	rekeys    int64
+	rekeyErrs int64
+}
+
+func newPool(idlePerKey, rekeyEvery int) *pool {
+	if idlePerKey < 1 {
+		idlePerKey = 2
+	}
+	return &pool{
+		idlePerKey: idlePerKey,
+		rekeyEvery: int64(rekeyEvery),
+		cells:      make(map[cellKey]*cell),
+	}
+}
+
+// checkout hands the caller an exclusively owned setup cache for the
+// cell: a warm idle one when available (hit), a fresh empty one
+// otherwise (miss — the first run through it pays setup once and leaves
+// it warm for check-in).
+func (p *pool) checkout(k cellKey) (sc *protocol.SetupCache, warm bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := p.cells[k]
+	if c != nil && len(c.idle) > 0 {
+		sc = c.idle[len(c.idle)-1]
+		c.idle = c.idle[:len(c.idle)-1]
+		p.hits++
+		return sc, true
+	}
+	p.misses++
+	// Small per-cache bound: one cell's setups are (cluster, vector
+	// material) at most, and the pool bounds cache count per cell.
+	return protocol.NewSetupCache(2), false
+}
+
+// checkin returns a checked-out cache to its cell, rekeying it first
+// when the cell's check-in count crosses the rekey interval. Returns
+// how many clusters were rekeyed (0 outside the interval). A cache that
+// fails to rekey, or arrives when the cell's idle list is full, is
+// dropped — the next checkout rebuilds from seeds.
+func (p *pool) checkin(k cellKey, sc *protocol.SetupCache) (rekeyed int, err error) {
+	p.mu.Lock()
+	c := p.cells[k]
+	if c == nil {
+		c = &cell{}
+		p.cells[k] = c
+	}
+	c.runs++
+	rekey := p.rekeyEvery > 0 && c.runs%p.rekeyEvery == 0
+	p.mu.Unlock()
+
+	if rekey {
+		// Re-establishing clusters is expensive; do it outside the pool
+		// lock. The cache is still exclusively ours.
+		rekeyed, err = sc.Rekey()
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if rekey {
+		p.rekeys += int64(rekeyed)
+		if err != nil {
+			p.rekeyErrs++
+			return rekeyed, err
+		}
+	}
+	if len(c.idle) < p.idlePerKey {
+		c.idle = append(c.idle, sc)
+	}
+	return rekeyed, nil
+}
+
+// PoolSnapshot is the pool's row in the stats snapshot.
+type PoolSnapshot struct {
+	// Cells is the number of distinct (protocol, scheme, n, t, keySeed)
+	// cells the pool has seen; Idle counts the warm caches parked across
+	// them right now.
+	Cells int `json:"cells"`
+	Idle  int `json:"idle"`
+	// Hits and Misses count checkouts that found, respectively missed, a
+	// warm cache. RekeyedClusters counts clusters rotated onto a fresh
+	// key epoch; RekeyErrors counts caches dropped because re-keying
+	// failed.
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	RekeyedClusters int64 `json:"rekeyed_clusters"`
+	RekeyErrors     int64 `json:"rekey_errors,omitempty"`
+}
+
+func (p *pool) snapshot() PoolSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := PoolSnapshot{
+		Cells:           len(p.cells),
+		Hits:            p.hits,
+		Misses:          p.misses,
+		RekeyedClusters: p.rekeys,
+		RekeyErrors:     p.rekeyErrs,
+	}
+	for _, c := range p.cells {
+		s.Idle += len(c.idle)
+	}
+	return s
+}

@@ -1,0 +1,317 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+	"repro/internal/sig"
+	"repro/internal/transport"
+)
+
+// startServer wires a server to an in-memory acceptor and returns a
+// connected client for tenant.
+func startServer(t *testing.T, cfg Config, tenant string) (*Server, *transport.PipeAcceptor, *Client) {
+	t.Helper()
+	srv := NewServer(cfg)
+	acc := transport.NewPipeAcceptor()
+	go srv.Serve(acc)
+	t.Cleanup(func() { acc.Close() })
+	cl := dialTenant(t, acc, tenant)
+	return srv, acc, cl
+}
+
+func dialTenant(t *testing.T, acc *transport.PipeAcceptor, tenant string) *Client {
+	t.Helper()
+	conn, err := acc.Dial()
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	cl, err := NewClient(conn, tenant)
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(data)
+}
+
+func chainRequest(seed int64) Request {
+	return Request{Protocol: campaign.ProtoChain, N: 4, T: 1, Scheme: sig.SchemeToy, Seed: seed, KeySeed: 1}
+}
+
+func TestServeBasic(t *testing.T) {
+	srv, acc, alpha := startServer(t, Config{Shards: 2}, "alpha")
+	beta := dialTenant(t, acc, "beta")
+
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, cl := range []*Client{alpha, beta} {
+			reply, err := cl.Do(chainRequest(seed))
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", cl.Tenant(), seed, err)
+			}
+			if reply.Result.Err != "" {
+				t.Fatalf("%s seed %d errored: %s", cl.Tenant(), seed, reply.Result.Err)
+			}
+			if !reply.Result.Conformance.Conformant() {
+				t.Fatalf("%s seed %d non-conformant: %+v", cl.Tenant(), seed, reply.Result.Conformance)
+			}
+			if reply.Source != "pool-hit" && reply.Source != "pool-miss" {
+				t.Fatalf("source = %q", reply.Source)
+			}
+		}
+	}
+
+	snap, err := alpha.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if snap.Schema != StatsSchema {
+		t.Fatalf("schema = %q", snap.Schema)
+	}
+	if snap.Served != 6 || snap.Submitted != 6 || snap.Rejected != 0 {
+		t.Fatalf("snapshot counters = %+v", snap)
+	}
+	if len(snap.Tenants) != 2 || snap.Tenants[0].Tenant != "alpha" || snap.Tenants[1].Tenant != "beta" {
+		t.Fatalf("tenants = %+v", snap.Tenants)
+	}
+	if snap.Tenants[0].Conformant != 3 || snap.Tenants[1].Conformant != 3 {
+		t.Fatalf("conformant counts = %+v", snap.Tenants)
+	}
+	// 6 requests into one (protocol, scheme, n, t, keySeed) cell across 2
+	// shards: at most 2 misses (one per executor), the rest amortized.
+	if snap.Pool.Misses > 2 || snap.Pool.Hits < 4 {
+		t.Fatalf("pool = %+v, want ≤2 misses", snap.Pool)
+	}
+	if snap.LatencyMS.Count != 6 || snap.LatencyMS.P99 <= 0 {
+		t.Fatalf("latency dist = %+v", snap.LatencyMS)
+	}
+	_ = srv
+}
+
+func TestBadRequestRejected(t *testing.T) {
+	_, _, cl := startServer(t, Config{Shards: 1}, "alpha")
+	cases := []Request{
+		{Protocol: "no-such-protocol", N: 4, T: 1, Seed: 1},
+		{Protocol: campaign.ProtoChain, N: 4, T: 4, Scheme: sig.SchemeToy, Seed: 1}, // t ≥ n
+		{Protocol: campaign.ProtoChain, N: 4, T: 1, Scheme: "no-such-scheme", Seed: 1},
+	}
+	for i, req := range cases {
+		_, err := cl.Do(req)
+		var rej *RejectError
+		if !errors.As(err, &rej) {
+			t.Fatalf("case %d: err = %v, want RejectError", i, err)
+		}
+		if rej.Code != RejectBadRequest || rej.RetryAfter != 0 {
+			t.Fatalf("case %d: reject = %+v", i, rej)
+		}
+	}
+}
+
+// waitQueued polls until the server's queue depth reaches want.
+func waitQueued(t *testing.T, srv *Server, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Snapshot().Queued == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue depth never reached %d (now %d)", want, srv.Snapshot().Queued)
+}
+
+// Backpressure: with the executor gated shut, a tenant's queue fills to
+// QueueDepth and the next submit gets an explicit busy rejection with a
+// retry hint — never unbounded buffering. Another tenant's queue is
+// independent.
+func TestBackpressureRejectsBusy(t *testing.T) {
+	srv := NewServer(Config{Shards: 1, QueueDepth: 2, RetryAfter: 25 * time.Millisecond})
+	srv.execGate = make(chan struct{}) // executors block until released
+	acc := transport.NewPipeAcceptor()
+	go srv.Serve(acc)
+	defer acc.Close()
+	alpha := dialTenant(t, acc, "alpha")
+	beta := dialTenant(t, acc, "beta")
+
+	// One request in execution (gated), two queued.
+	results := make(chan error, 3)
+	for seed := int64(1); seed <= 3; seed++ {
+		req := chainRequest(seed)
+		go func() {
+			_, err := alpha.Do(req)
+			results <- err
+		}()
+		if seed == 1 {
+			// Wait for the executor to pop it so queue accounting below
+			// is deterministic.
+			waitQueued(t, srv, 0)
+		}
+	}
+	waitQueued(t, srv, 2)
+
+	// Queue full: explicit rejection, not a hang.
+	_, err := alpha.Do(chainRequest(4))
+	var rej *RejectError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err = %v, want RejectError", err)
+	}
+	if rej.Code != RejectBusy || rej.RetryAfter != 25*time.Millisecond {
+		t.Fatalf("reject = %+v, want busy with 25ms hint", rej)
+	}
+	if !strings.Contains(rej.Msg, "alpha") {
+		t.Fatalf("reject msg %q does not name the tenant", rej.Msg)
+	}
+
+	// Per-tenant bound: beta's queue is its own.
+	betaDone := make(chan error, 1)
+	go func() {
+		_, err := beta.Do(chainRequest(5))
+		betaDone <- err
+	}()
+	waitQueued(t, srv, 3)
+
+	close(srv.execGate) // release the executors
+	for i := 0; i < 3; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("gated request %d failed: %v", i, err)
+		}
+	}
+	if err := <-betaDone; err != nil {
+		t.Fatalf("beta request failed: %v", err)
+	}
+	snap := srv.Snapshot()
+	if snap.Served != 4 || snap.Rejected != 1 {
+		t.Fatalf("snapshot = served %d rejected %d, want 4/1", snap.Served, snap.Rejected)
+	}
+}
+
+// Drain: queued work completes and is answered, new submits are
+// rejected with the draining code, and the final snapshot is valid.
+func TestDrainCompletesQueuedWork(t *testing.T) {
+	srv := NewServer(Config{Shards: 1, QueueDepth: 8})
+	srv.execGate = make(chan struct{})
+	acc := transport.NewPipeAcceptor()
+	go srv.Serve(acc)
+	defer acc.Close()
+	cl := dialTenant(t, acc, "alpha")
+
+	results := make(chan error, 3)
+	for seed := int64(1); seed <= 3; seed++ {
+		req := chainRequest(seed)
+		go func() {
+			_, err := cl.Do(req)
+			results <- err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Snapshot().Submitted < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	close(srv.execGate)
+	snap := srv.Drain()
+	for i := 0; i < 3; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("queued request %d failed across drain: %v", i, err)
+		}
+	}
+	if !snap.Draining || snap.Served != 3 || snap.Queued != 0 {
+		t.Fatalf("drain snapshot = %+v, want draining with 3 served, 0 queued", snap)
+	}
+
+	// Post-drain submits are refused, not hung.
+	_, err := cl.Do(chainRequest(9))
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Code != RejectDraining {
+		t.Fatalf("post-drain err = %v, want draining rejection", err)
+	}
+
+	// Drain is idempotent.
+	if again := srv.Drain(); again.Served != 3 {
+		t.Fatalf("second drain = %+v", again)
+	}
+}
+
+// The service emits one request span per served instance and reject
+// points for refusals, through the shared obs layer.
+func TestServiceObservability(t *testing.T) {
+	sink := &obs.MemorySink{}
+	rec := obs.NewRecorder(sink)
+	_, _, cl := startServer(t, Config{Shards: 1, Recorder: rec}, "alpha")
+
+	if _, err := cl.Do(chainRequest(1)); err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if _, err := cl.Do(Request{Protocol: "nope", N: 4, T: 1, Seed: 1}); err == nil {
+		t.Fatalf("bad request served")
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	spans := sink.Scoped("service.request")
+	if len(spans) != 2 { // begin + end for the served request
+		t.Fatalf("service.request events = %d, want 2", len(spans))
+	}
+	var sawEnd bool
+	for _, e := range spans {
+		if e.Kind == obs.KindEnd {
+			sawEnd = true
+			if !strings.Contains(e.Attrs, "conformant=true") || !strings.Contains(e.Attrs, "source=") {
+				t.Fatalf("end attrs = %q", e.Attrs)
+			}
+		} else if !strings.Contains(e.Attrs, "tenant=alpha") {
+			t.Fatalf("begin attrs = %q", e.Attrs)
+		}
+	}
+	if !sawEnd {
+		t.Fatalf("no end event for the request span")
+	}
+	if rejects := sink.Scoped("service.reject"); len(rejects) != 1 {
+		t.Fatalf("service.reject points = %d, want 1", len(rejects))
+	}
+}
+
+// Custom values thread end to end: a served request carrying a caller
+// value produces exactly the result a local run with that value does.
+func TestCustomValueRoundTrip(t *testing.T) {
+	_, _, cl := startServer(t, Config{Shards: 1}, "alpha")
+	req := chainRequest(1)
+	req.Value = []byte{0x5a}
+	reply, err := cl.Do(req)
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	if !reply.Result.Conformance.Conformant() {
+		t.Fatalf("custom-value run non-conformant: %+v", reply.Result.Conformance)
+	}
+	local := campaign.RunInstance(campaign.Instance{
+		Protocol: req.Protocol, N: req.N, T: req.T, Scheme: req.Scheme,
+		Adversary: campaign.AdvNone, Seed: req.Seed, KeySeed: req.KeySeed,
+		Value: req.Value,
+	})
+	if got, want := mustJSON(t, reply.Result), mustJSON(t, local); got != want {
+		t.Fatalf("served custom-value result diverges from local run:\n got %s\nwant %s", got, want)
+	}
+	// And the value is load-bearing: dropping it changes the wire bytes.
+	plain := campaign.RunInstance(campaign.Instance{
+		Protocol: req.Protocol, N: req.N, T: req.T, Scheme: req.Scheme,
+		Adversary: campaign.AdvNone, Seed: req.Seed, KeySeed: req.KeySeed,
+	})
+	if mustJSON(t, plain) == mustJSON(t, local) {
+		t.Fatalf("custom value had no observable effect on the run")
+	}
+}

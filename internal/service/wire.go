@@ -1,0 +1,191 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/sig"
+)
+
+// The agreement-service wire protocol: framed request/response kinds
+// multiplexed over one transport.Conn per client connection. Frames
+// reuse the repository's canonical length-delimited codec
+// (internal/sig), following the sched wire protocol's shape: a tagged
+// hello handshake, then payload-bearing kinds carrying a SHA-256
+// checksum over the payload so a corrupted frame is DETECTED and fails
+// the request instead of silently corrupting a verdict. Many requests
+// may be in flight on one connection at once — responses carry the
+// client-chosen request ID, and arrive in completion order, not
+// submission order.
+
+// Frame kinds.
+const (
+	// KindHello is the client's first frame: protocol tag + tenant name.
+	KindHello = 1
+	// KindHelloAck confirms the hello: tag + the server's shard count.
+	KindHelloAck = 2
+	// KindSubmit carries one agreement request client → server.
+	KindSubmit = 3
+	// KindResult carries one completed request's reply server → client.
+	KindResult = 4
+	// KindReject refuses one request: admission control (queue full,
+	// draining) or validation. Carries a retry-after hint in
+	// milliseconds; 0 means do not retry (the request can never succeed).
+	KindReject = 5
+	// KindStats asks for the live server snapshot.
+	KindStats = 6
+	// KindStatsReply carries the snapshot JSON server → client.
+	KindStatsReply = 7
+)
+
+// Reject codes.
+const (
+	// RejectBusy: the tenant's queue on the request's shard is full.
+	// Retry after the hinted delay — the explicit backpressure signal
+	// that replaces unbounded buffering.
+	RejectBusy = "busy"
+	// RejectDraining: the server is shutting down and admits nothing new.
+	RejectDraining = "draining"
+	// RejectBadRequest: the request can never run (unknown protocol,
+	// unsupported (n, t), unknown scheme). Never retried.
+	RejectBadRequest = "bad-request"
+)
+
+// wireTag guards against cross-protocol connections.
+const wireTag = "fdserve/v1"
+
+// FrameKind peeks a frame's kind without decoding the rest (-1 when the
+// frame is too short to carry one).
+func FrameKind(frame []byte) int {
+	if len(frame) < sig.IntFieldSize {
+		return -1
+	}
+	d := sig.NewDecoder(frame)
+	return d.Int()
+}
+
+func encodeHello(tenant string) []byte {
+	out := make([]byte, 0, sig.IntFieldSize+sig.BytesFieldSize(len(wireTag))+sig.BytesFieldSize(len(tenant)))
+	out = sig.AppendInt(out, KindHello)
+	out = sig.AppendString(out, wireTag)
+	return sig.AppendString(out, tenant)
+}
+
+func decodeHello(frame []byte) (tenant string, err error) {
+	d := sig.NewDecoder(frame)
+	if kind := d.Int(); kind != KindHello {
+		return "", fmt.Errorf("service: expected hello, got frame kind %d", kind)
+	}
+	if tag := d.String(); tag != wireTag {
+		return "", fmt.Errorf("service: bad protocol tag %q (want %s)", tag, wireTag)
+	}
+	tenant = d.String()
+	if ferr := d.Finish(); ferr != nil {
+		return "", fmt.Errorf("service: bad hello: %w", ferr)
+	}
+	if tenant == "" {
+		return "", fmt.Errorf("service: hello with empty tenant name")
+	}
+	return tenant, nil
+}
+
+func encodeHelloAck(shards int) []byte {
+	out := make([]byte, 0, 2*sig.IntFieldSize+sig.BytesFieldSize(len(wireTag)))
+	out = sig.AppendInt(out, KindHelloAck)
+	out = sig.AppendString(out, wireTag)
+	return sig.AppendInt(out, shards)
+}
+
+func decodeHelloAck(frame []byte) (shards int, err error) {
+	d := sig.NewDecoder(frame)
+	if kind := d.Int(); kind != KindHelloAck {
+		return 0, fmt.Errorf("service: expected hello ack, got frame kind %d", kind)
+	}
+	if tag := d.String(); tag != wireTag {
+		return 0, fmt.Errorf("service: bad protocol tag %q (want %s)", tag, wireTag)
+	}
+	shards = d.Int()
+	if ferr := d.Finish(); ferr != nil {
+		return 0, fmt.Errorf("service: bad hello ack: %w", ferr)
+	}
+	return shards, nil
+}
+
+// encodePayload frames one checksummed payload-bearing kind: the kind,
+// the request ID, a SHA-256 over the payload, and the payload itself.
+func encodePayload(kind, id int, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	out := make([]byte, 0, 2*sig.IntFieldSize+sig.BytesFieldSize(len(sum))+sig.BytesFieldSize(len(payload)))
+	out = sig.AppendInt(out, kind)
+	out = sig.AppendInt(out, id)
+	out = sig.AppendBytes(out, sum[:])
+	return sig.AppendBytes(out, payload)
+}
+
+// decodePayload decodes and checksum-verifies one payload-bearing frame.
+func decodePayload(frame []byte, wantKind int, what string) (id int, payload []byte, err error) {
+	d := sig.NewDecoder(frame)
+	if kind := d.Int(); kind != wantKind {
+		return 0, nil, fmt.Errorf("service: expected %s, got frame kind %d", what, kind)
+	}
+	id = d.Int()
+	sum := d.Bytes()
+	payload = d.Bytes()
+	if ferr := d.Finish(); ferr != nil {
+		return 0, nil, fmt.Errorf("service: bad %s frame: %w", what, ferr)
+	}
+	want := sha256.Sum256(payload)
+	if !bytes.Equal(sum, want[:]) {
+		return 0, nil, fmt.Errorf("service: %s %d payload checksum mismatch", what, id)
+	}
+	return id, payload, nil
+}
+
+func encodeSubmit(id int, payload []byte) []byte { return encodePayload(KindSubmit, id, payload) }
+
+func decodeSubmit(frame []byte) (id int, payload []byte, err error) {
+	return decodePayload(frame, KindSubmit, "submit")
+}
+
+func encodeResult(id int, payload []byte) []byte { return encodePayload(KindResult, id, payload) }
+
+func decodeResult(frame []byte) (id int, payload []byte, err error) {
+	return decodePayload(frame, KindResult, "result")
+}
+
+func encodeReject(id int, code string, retryAfterMS int, msg string) []byte {
+	out := make([]byte, 0, 3*sig.IntFieldSize+sig.BytesFieldSize(len(code))+sig.BytesFieldSize(len(msg)))
+	out = sig.AppendInt(out, KindReject)
+	out = sig.AppendInt(out, id)
+	out = sig.AppendString(out, code)
+	out = sig.AppendInt(out, retryAfterMS)
+	return sig.AppendString(out, msg)
+}
+
+func decodeReject(frame []byte) (id int, code string, retryAfterMS int, msg string, err error) {
+	d := sig.NewDecoder(frame)
+	if kind := d.Int(); kind != KindReject {
+		return 0, "", 0, "", fmt.Errorf("service: expected reject, got frame kind %d", kind)
+	}
+	id = d.Int()
+	code = d.String()
+	retryAfterMS = d.Int()
+	msg = d.String()
+	if ferr := d.Finish(); ferr != nil {
+		return 0, "", 0, "", fmt.Errorf("service: bad reject frame: %w", ferr)
+	}
+	return id, code, retryAfterMS, msg, nil
+}
+
+func encodeStats() []byte {
+	out := make([]byte, 0, sig.IntFieldSize)
+	return sig.AppendInt(out, KindStats)
+}
+
+func encodeStatsReply(payload []byte) []byte { return encodePayload(KindStatsReply, 0, payload) }
+
+func decodeStatsReply(frame []byte) (payload []byte, err error) {
+	_, payload, err = decodePayload(frame, KindStatsReply, "stats reply")
+	return payload, err
+}

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	tenant, err := decodeHello(encodeHello("alpha"))
+	if err != nil {
+		t.Fatalf("decodeHello: %v", err)
+	}
+	if tenant != "alpha" {
+		t.Fatalf("tenant = %q, want alpha", tenant)
+	}
+	if _, err := decodeHello(encodeHello("")); err == nil {
+		t.Fatalf("empty tenant accepted")
+	}
+	if _, err := decodeHello(encodeHelloAck(4)); err == nil {
+		t.Fatalf("hello ack accepted as hello")
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	shards, err := decodeHelloAck(encodeHelloAck(7))
+	if err != nil {
+		t.Fatalf("decodeHelloAck: %v", err)
+	}
+	if shards != 7 {
+		t.Fatalf("shards = %d, want 7", shards)
+	}
+}
+
+func TestPayloadFrameRoundTrip(t *testing.T) {
+	payload := []byte(`{"protocol":"chain","n":4,"t":1}`)
+	frame := encodeSubmit(42, payload)
+	if FrameKind(frame) != KindSubmit {
+		t.Fatalf("FrameKind = %d, want %d", FrameKind(frame), KindSubmit)
+	}
+	id, got, err := decodeSubmit(frame)
+	if err != nil {
+		t.Fatalf("decodeSubmit: %v", err)
+	}
+	if id != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("decoded (%d, %q), want (42, %q)", id, got, payload)
+	}
+	if _, _, err := decodeResult(frame); err == nil {
+		t.Fatalf("submit frame accepted as result")
+	}
+}
+
+// A flipped payload byte must fail the checksum, not silently decode —
+// the service's whole integrity story over untrusted links.
+func TestPayloadChecksumDetectsCorruption(t *testing.T) {
+	payload := []byte(`{"result":{"verdict":true}}`)
+	frame := encodeResult(7, payload)
+	for i := len(frame) - len(payload); i < len(frame); i++ {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x40
+		if _, _, err := decodeResult(mut); err == nil {
+			t.Fatalf("corrupted payload byte %d decoded cleanly", i)
+		} else if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "frame") {
+			t.Fatalf("unexpected error for byte %d: %v", i, err)
+		}
+	}
+}
+
+func TestRejectRoundTrip(t *testing.T) {
+	id, code, retryMS, msg, err := decodeReject(encodeReject(9, RejectBusy, 50, "queue full"))
+	if err != nil {
+		t.Fatalf("decodeReject: %v", err)
+	}
+	if id != 9 || code != RejectBusy || retryMS != 50 || msg != "queue full" {
+		t.Fatalf("decoded (%d, %q, %d, %q)", id, code, retryMS, msg)
+	}
+}
+
+func TestStatsReplyRoundTrip(t *testing.T) {
+	payload, err := decodeStatsReply(encodeStatsReply([]byte(`{"schema":"fdserve-stats/v1"}`)))
+	if err != nil {
+		t.Fatalf("decodeStatsReply: %v", err)
+	}
+	if !bytes.Equal(payload, []byte(`{"schema":"fdserve-stats/v1"}`)) {
+		t.Fatalf("payload = %q", payload)
+	}
+	if FrameKind(encodeStats()) != KindStats {
+		t.Fatalf("stats frame kind = %d", FrameKind(encodeStats()))
+	}
+}
